@@ -1,0 +1,73 @@
+// Hyper-parameter ablations called out in DESIGN.md: the FedProx
+// proximal strength mu (convergence under heterogeneity) and the
+// alpha-portion sync mixing weight (personalization/generality
+// trade-off), both with FLNet at the current FLEDA_SCALE.
+#include "bench_common.hpp"
+#include "fl/alpha_sync.hpp"
+#include "fl/fedprox.hpp"
+#include "phys/features.hpp"
+
+namespace fleda {
+namespace {
+
+std::vector<Client> make_clients(const std::vector<ClientDataset>& data,
+                                 const ModelFactory& factory) {
+  Rng rng(7);
+  std::vector<Client> clients;
+  for (const ClientDataset& ds : data) {
+    clients.emplace_back(ds.client_id, &ds, factory,
+                         rng.fork(static_cast<std::uint64_t>(ds.client_id)));
+  }
+  return clients;
+}
+
+}  // namespace
+}  // namespace fleda
+
+int main() {
+  using namespace fleda;
+  ExperimentConfig cfg = bench::make_config(ModelKind::kFLNet);
+  std::printf("== Ablation: FedProx mu and alpha-portion sync ==\n");
+  Timer total;
+  Experiment exp(cfg);
+  exp.prepare_data();
+  ModelFactory factory =
+      make_model_factory(ModelKind::kFLNet, kNumFeatureChannels);
+
+  FLRunOptions opts;
+  opts.rounds = cfg.scale.rounds;
+  opts.client.steps = cfg.scale.steps_per_round;
+  opts.client.batch_size = cfg.scale.batch_size;
+  PaperHyperParams hp;
+  opts.client.learning_rate = hp.learning_rate;
+  opts.client.l2_regularization = hp.l2_regularization;
+
+  AsciiTable mu_table("FedProx proximal strength mu (paper: 1e-4)");
+  mu_table.set_header({"mu", "Avg ROC AUC"});
+  for (double mu : {0.0, 1e-4, 1e-2, 1.0}) {
+    std::vector<Client> clients = make_clients(exp.data(), factory);
+    opts.client.mu = mu;
+    FedProx algo;
+    std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
+    MethodResult r = evaluate_per_client("mu", clients, finals);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", mu);
+    mu_table.add_row({buf, AsciiTable::fmt(r.average, 3)});
+  }
+  mu_table.print();
+
+  opts.client.mu = hp.fedprox_mu;
+  AsciiTable alpha_table("alpha-portion sync mixing weight (paper: 0.5)");
+  alpha_table.set_header({"alpha", "Avg ROC AUC"});
+  for (double alpha : {0.1, 0.5, 0.9}) {
+    std::vector<Client> clients = make_clients(exp.data(), factory);
+    AlphaPortionSync algo(alpha);
+    std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
+    MethodResult r = evaluate_per_client("alpha", clients, finals);
+    alpha_table.add_row({AsciiTable::fmt(alpha, 1),
+                         AsciiTable::fmt(r.average, 3)});
+  }
+  alpha_table.print();
+  std::printf("total time %.1fs\n\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared setup for the paper-table bench binaries: scale resolution
+// (FLEDA_SCALE), dataset caching (FLEDA_CACHE_DIR, default
+// .fleda-cache), and the per-table run/report driver.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/paper_tables.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace fleda::bench {
+
+inline ExperimentConfig make_config(ModelKind model) {
+  ExperimentConfig cfg;
+  cfg.model = model;
+  cfg.scale = scale_from_env();
+  const char* cache = std::getenv("FLEDA_CACHE_DIR");
+  cfg.cache_dir = cache != nullptr ? cache : ".fleda-cache";
+  return cfg;
+}
+
+// Runs all eight table rows for one model and prints the table in the
+// paper layout plus the headline-claims summary.
+inline int run_accuracy_table(ModelKind model, const std::string& title) {
+  ExperimentConfig cfg = make_config(model);
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("scale=%s grid=%d rounds=%d steps=%d finetune=%d fraction=%.3f\n",
+              cfg.scale.name.c_str(), cfg.scale.grid, cfg.scale.rounds,
+              cfg.scale.steps_per_round, cfg.scale.finetune_steps,
+              cfg.scale.placement_fraction);
+  Timer total;
+  Experiment exp(cfg);
+  exp.prepare_data();
+  std::vector<MethodResult> rows = exp.run_paper_table();
+  render_accuracy_table(title, rows).print();
+  render_headline_summary(rows).print();
+  std::printf("total time %.1fs\n\n", total.seconds());
+  return 0;
+}
+
+}  // namespace fleda::bench

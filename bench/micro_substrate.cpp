@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the substrates: matmul kernels,
+// im2col, convolution layers, the placer/router data pipeline, and the
+// ROC AUC metric. These guard the CPU budget of the table benches.
+#include <benchmark/benchmark.h>
+
+#include "metrics/roc_auc.hpp"
+#include "models/registry.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "phys/drc.hpp"
+#include "phys/features.hpp"
+#include "phys/global_router.hpp"
+#include "phys/netlist.hpp"
+#include "phys/placer.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matmul.hpp"
+
+namespace fleda {
+namespace {
+
+Tensor random_tensor(const Shape& shape, Rng& rng) {
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  Tensor a = random_tensor(Shape::of(m, k), rng);
+  Tensor b = random_tensor(Shape::of(k, n), rng);
+  Tensor c(Shape::of(m, n));
+  for (auto _ : state) {
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_Matmul)->Args({64, 486, 1024})->Args({32, 1568, 1024});
+
+void BM_Im2col(benchmark::State& state) {
+  ConvGeometry g;
+  g.channels = state.range(0);
+  g.height = g.width = 32;
+  g.kernel_h = g.kernel_w = 9;
+  g.pad_h = g.pad_w = 4;
+  Rng rng(2);
+  Tensor img = random_tensor(Shape::of(g.channels, 32, 32), rng);
+  Tensor cols(Shape::of(g.col_rows(), g.col_cols()));
+  for (auto _ : state) {
+    im2col(img.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(6)->Arg(64);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  const ModelKind kind = static_cast<ModelKind>(state.range(0));
+  Rng rng(3);
+  RoutabilityModelPtr model = make_model(kind, kNumFeatureChannels, rng);
+  Tensor x = random_tensor(Shape::of(8, kNumFeatureChannels, 32, 32), rng);
+  Tensor y(Shape{8, 1, 32, 32});
+  Adam adam(model->parameters(), AdamOptions{});
+  for (auto _ : state) {
+    adam.zero_grad();
+    Tensor pred = model->forward(x, true);
+    LossResult loss = mse_loss(pred, y);
+    model->backward(loss.grad);
+    adam.step();
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_ModelTrainStep)
+    ->Arg(static_cast<int>(ModelKind::kFLNet))
+    ->Arg(static_cast<int>(ModelKind::kRouteNet))
+    ->Arg(static_cast<int>(ModelKind::kPROS));
+
+void BM_PlaceAndRoute(benchmark::State& state) {
+  NetlistGenParams p;
+  p.profile = profile_for(BenchmarkSuite::kItc99);
+  p.grid_w = p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  Rng gen_rng(4);
+  NetlistPtr nl = generate_netlist(p, gen_rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    PlacerOptions popts;
+    popts.moves_per_cell = 3.0;
+    Placement pl = place(nl, popts, rng);
+    RouterOptions ropts;
+    ropts.capacity_scale = p.profile.capacity_scale;
+    RoutingResult rr = route(pl, ropts, rng);
+    benchmark::DoNotOptimize(rr.total_wirelength);
+  }
+}
+BENCHMARK(BM_PlaceAndRoute);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  NetlistGenParams p;
+  p.profile = profile_for(BenchmarkSuite::kIwls05);
+  p.grid_w = p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  Rng rng(5);
+  NetlistPtr nl = generate_netlist(p, rng);
+  PlacerOptions popts;
+  Placement pl = place(nl, popts, rng);
+  RouterOptions ropts;
+  RoutingResult rr = route(pl, ropts, rng);
+  DrcOptions dopts;
+  for (auto _ : state) {
+    FeatureSample s = extract_features(pl, rr, default_technology(), dopts);
+    benchmark::DoNotOptimize(s.features.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_RocAuc(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < state.range(0); ++i) {
+    scores.push_back(static_cast<float>(rng.uniform()));
+    labels.push_back(rng.bernoulli(0.2) ? 1.0f : 0.0f);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(roc_auc(scores, labels));
+  }
+}
+BENCHMARK(BM_RocAuc)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace fleda
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Table 3 reproduction: ROC AUC on routability prediction with FLNet
+// across all eight training methods (local, central, FedProx and five
+// personalization variants), nine clients plus the average.
+#include "bench_common.hpp"
+
+int main() {
+  return fleda::bench::run_accuracy_table(
+      fleda::ModelKind::kFLNet,
+      "Table 3: Testing Accuracy (ROC AUC) with FLNet");
+}

@@ -1,0 +1,10 @@
+// Table 4 reproduction: ROC AUC with the RouteNet (ICCAD'18) baseline
+// estimator — the paper's evidence that deep estimators degrade under
+// decentralized training.
+#include "bench_common.hpp"
+
+int main() {
+  return fleda::bench::run_accuracy_table(
+      fleda::ModelKind::kRouteNet,
+      "Table 4: Testing Accuracy (ROC AUC) with RouteNet");
+}

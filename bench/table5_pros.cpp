@@ -1,0 +1,10 @@
+// Table 5 reproduction: ROC AUC with the PROS (ICCAD'20) baseline
+// estimator — dilated convolutions, sub-pixel upsampling, and
+// BatchNorm make it the most fragile model under FL aggregation.
+#include "bench_common.hpp"
+
+int main() {
+  return fleda::bench::run_accuracy_table(
+      fleda::ModelKind::kPROS,
+      "Table 5: Testing Accuracy (ROC AUC) with PROS");
+}

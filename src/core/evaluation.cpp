@@ -1,0 +1,44 @@
+#include "core/evaluation.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+namespace {
+
+double average(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+MethodResult evaluate_per_client(const std::string& method,
+                                 std::vector<Client>& clients,
+                                 const std::vector<ModelParameters>& finals) {
+  if (clients.size() != finals.size()) {
+    throw std::invalid_argument("evaluate_per_client: size mismatch");
+  }
+  MethodResult result;
+  result.method = method;
+  result.client_auc.resize(clients.size());
+  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      result.client_auc[k] = clients[k].evaluate_test_auc(finals[k]);
+    }
+  });
+  result.average = average(result.client_auc);
+  return result;
+}
+
+MethodResult evaluate_shared(const std::string& method,
+                             std::vector<Client>& clients,
+                             const ModelParameters& model) {
+  return evaluate_per_client(
+      method, clients,
+      std::vector<ModelParameters>(clients.size(), model));
+}
+
+}  // namespace fleda

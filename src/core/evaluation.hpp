@@ -1,0 +1,29 @@
+// Evaluation of trained models in the paper's reporting format: ROC
+// AUC per client (each model evaluated on that client's private test
+// data) plus the across-client average — one row of Tables 3-5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/client.hpp"
+
+namespace fleda {
+
+struct MethodResult {
+  std::string method;
+  std::vector<double> client_auc;  // AUC on client k's test data
+  double average = 0.0;
+};
+
+// Evaluates per-client final models: finals[k] on clients[k].
+MethodResult evaluate_per_client(const std::string& method,
+                                 std::vector<Client>& clients,
+                                 const std::vector<ModelParameters>& finals);
+
+// Evaluates one shared model on every client's test data.
+MethodResult evaluate_shared(const std::string& method,
+                             std::vector<Client>& clients,
+                             const ModelParameters& model);
+
+}  // namespace fleda

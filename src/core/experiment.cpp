@@ -1,0 +1,215 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "fl/alpha_sync.hpp"
+#include "fl/assigned_clustering.hpp"
+#include "fl/baselines.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/fedprox_lg.hpp"
+#include "fl/finetune.hpp"
+#include "fl/ifca.hpp"
+#include "data/serialization.hpp"
+#include "phys/features.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace fleda {
+
+std::string to_string(TrainingMethod method) {
+  switch (method) {
+    case TrainingMethod::kLocal:
+      return "Local Average (b1 to b9)";
+    case TrainingMethod::kCentral:
+      return "Training Centrally on All Data";
+    case TrainingMethod::kFedAvg:
+      return "FedAvg";
+    case TrainingMethod::kFedProx:
+      return "FedProx";
+    case TrainingMethod::kFedProxLG:
+      return "FedProx-LG";
+    case TrainingMethod::kIFCA:
+      return "IFCA";
+    case TrainingMethod::kFedProxFineTune:
+      return "FedProx + Fine-tuning";
+    case TrainingMethod::kAssignedClustering:
+      return "Assigned Clustering";
+    case TrainingMethod::kAlphaPortionSync:
+      return "FedProx + a-Portion Sync";
+  }
+  return "?";
+}
+
+std::vector<TrainingMethod> paper_table_methods() {
+  return {
+      TrainingMethod::kLocal,
+      TrainingMethod::kCentral,
+      TrainingMethod::kFedProx,
+      TrainingMethod::kFedProxLG,
+      TrainingMethod::kIFCA,
+      TrainingMethod::kFedProxFineTune,
+      TrainingMethod::kAssignedClustering,
+      TrainingMethod::kAlphaPortionSync,
+  };
+}
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config),
+      factory_(make_model_factory(config.model, kNumFeatureChannels)) {}
+
+void Experiment::prepare_data() {
+  if (!data_.empty()) return;
+  const std::string cache =
+      config_.cache_dir.empty()
+          ? ""
+          : config_.cache_dir + "/grid" + std::to_string(config_.scale.grid) +
+                "_frac" +
+                std::to_string(static_cast<int>(
+                    config_.scale.placement_fraction * 1000)) +
+                "_seed" + std::to_string(config_.data_seed);
+  if (!cache.empty()) {
+    data_ = try_load_all_clients(cache, config_.hparams.num_clients);
+    if (!data_.empty()) {
+      FLEDA_LOG_INFO("loaded cached dataset from %s", cache.c_str());
+      return;
+    }
+  }
+
+  Timer timer;
+  DatasetGenOptions gen;
+  gen.grid = config_.scale.grid;
+  gen.placement_fraction = config_.scale.placement_fraction;
+  gen.seed = config_.data_seed;
+  data_ = generate_paper_dataset(gen);
+  FLEDA_LOG_INFO("generated dataset (%d clients) in %.1fs",
+                 static_cast<int>(data_.size()), timer.seconds());
+  if (!cache.empty()) {
+    save_all_clients(cache, data_);
+    FLEDA_LOG_INFO("cached dataset at %s", cache.c_str());
+  }
+}
+
+std::vector<Client> Experiment::make_clients() {
+  if (data_.empty()) {
+    throw std::logic_error("Experiment: call prepare_data() first");
+  }
+  Rng rng(config_.train_seed);
+  std::vector<Client> clients;
+  clients.reserve(data_.size());
+  for (const ClientDataset& ds : data_) {
+    clients.emplace_back(ds.client_id, &ds, factory_,
+                         rng.fork(static_cast<std::uint64_t>(ds.client_id)));
+  }
+  return clients;
+}
+
+ClientTrainConfig Experiment::make_client_config() const {
+  ClientTrainConfig cfg;
+  cfg.steps = config_.scale.steps_per_round;
+  cfg.batch_size = config_.scale.batch_size;
+  cfg.learning_rate = config_.hparams.learning_rate;
+  cfg.l2_regularization = config_.hparams.l2_regularization;
+  cfg.mu = config_.hparams.fedprox_mu;
+  return cfg;
+}
+
+FLRunOptions Experiment::make_run_options() const {
+  FLRunOptions opts;
+  opts.rounds = config_.scale.rounds;
+  opts.client = make_client_config();
+  opts.seed = config_.train_seed;
+  return opts;
+}
+
+std::unique_ptr<FederatedAlgorithm> Experiment::make_algorithm(
+    TrainingMethod method) const {
+  switch (method) {
+    case TrainingMethod::kFedAvg:
+      return std::make_unique<FedAvg>();
+    case TrainingMethod::kFedProx:
+      return std::make_unique<FedProx>();
+    case TrainingMethod::kFedProxLG:
+      return std::make_unique<FedProxLG>();
+    case TrainingMethod::kIFCA:
+      return std::make_unique<IFCA>(config_.hparams.num_clusters);
+    case TrainingMethod::kFedProxFineTune:
+      return std::make_unique<FineTune>(std::make_unique<FedProx>(),
+                                        config_.scale.finetune_steps);
+    case TrainingMethod::kAssignedClustering:
+      return std::make_unique<AssignedClustering>(
+          AssignedClustering::paper_assignment());
+    case TrainingMethod::kAlphaPortionSync:
+      return std::make_unique<AlphaPortionSync>(
+          config_.hparams.alpha_portion);
+    default:
+      throw std::invalid_argument(
+          "make_algorithm: not a federated method: " + to_string(method));
+  }
+}
+
+MethodResult Experiment::run_method(TrainingMethod method) {
+  std::vector<Client> clients = make_clients();
+  Timer timer;
+  MethodResult result;
+
+  if (method == TrainingMethod::kLocal) {
+    BaselineOptions bopts;
+    bopts.total_steps = config_.scale.rounds * config_.scale.steps_per_round;
+    bopts.client = make_client_config();
+    bopts.seed = config_.train_seed;
+    std::vector<ModelParameters> locals =
+        train_local_baselines(clients, factory_, bopts);
+    result = evaluate_per_client(to_string(method), clients, locals);
+  } else if (method == TrainingMethod::kCentral) {
+    BaselineOptions bopts;
+    // Equal-compute upper bound: federated training performs R*S steps
+    // on each of the K clients, so the centralized reference gets the
+    // same total number of gradient steps over the pooled data.
+    bopts.total_steps = config_.scale.rounds * config_.scale.steps_per_round *
+                        config_.hparams.num_clients;
+    bopts.client = make_client_config();
+    bopts.seed = config_.train_seed;
+    ModelParameters central = train_centralized(data_, factory_, bopts);
+    result = evaluate_shared(to_string(method), clients, central);
+  } else {
+    std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
+    std::vector<ModelParameters> finals =
+        algo->run(clients, factory_, make_run_options());
+    result = evaluate_per_client(to_string(method), clients, finals);
+  }
+
+  FLEDA_LOG_INFO("%s [%s]: avg AUC %.3f (%.1fs)",
+                 to_string(method).c_str(),
+                 to_string(config_.model).c_str(), result.average,
+                 timer.seconds());
+  return result;
+}
+
+std::vector<MethodResult> Experiment::run_paper_table() {
+  std::vector<MethodResult> rows;
+  for (TrainingMethod method : paper_table_methods()) {
+    rows.push_back(run_method(method));
+  }
+  return rows;
+}
+
+std::vector<Experiment::ConvergencePoint> Experiment::run_convergence(
+    TrainingMethod method) {
+  std::vector<Client> clients = make_clients();
+  std::vector<ConvergencePoint> series;
+
+  if (method == TrainingMethod::kLocal || method == TrainingMethod::kCentral) {
+    throw std::invalid_argument("run_convergence: federated methods only");
+  }
+  std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
+  FLRunOptions opts = make_run_options();
+  opts.on_round = [&](int round, const std::vector<ModelParameters>& models) {
+    MethodResult r = evaluate_per_client("round", clients, models);
+    series.push_back({round, r.average});
+  };
+  algo->run(clients, factory_, opts);
+  return series;
+}
+
+}  // namespace fleda

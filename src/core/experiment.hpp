@@ -1,0 +1,88 @@
+// fleda::Experiment — the library's top-level API. One Experiment owns
+// a Table-2-replica dataset and can run any of the paper's training
+// methods on any of the three models, returning table rows (per-client
+// ROC AUC + average). The benches for Tables 3/4/5 are thin wrappers
+// over this class, and downstream users drive the whole system from
+// here:
+//
+//   ExperimentConfig cfg;
+//   cfg.model = ModelKind::kFLNet;
+//   Experiment exp(cfg);
+//   exp.prepare_data();
+//   MethodResult row = exp.run_method(TrainingMethod::kFedProxFineTune);
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "data/generator.hpp"
+#include "fl/trainer.hpp"
+#include "models/registry.hpp"
+#include "util/config.hpp"
+
+namespace fleda {
+
+enum class TrainingMethod {
+  kLocal,               // Local Average (b_1..b_9)
+  kCentral,             // Training Centrally on All Data
+  kFedAvg,              // plain FedAvg (supplementary)
+  kFedProx,             //
+  kFedProxLG,           //
+  kIFCA,                //
+  kFedProxFineTune,     // FedProx + Fine-tuning
+  kAssignedClustering,  //
+  kAlphaPortionSync,    // FedProx + alpha-Portion Sync
+};
+
+std::string to_string(TrainingMethod method);
+// The eight rows of Tables 3-5, in the paper's order.
+std::vector<TrainingMethod> paper_table_methods();
+
+struct ExperimentConfig {
+  ModelKind model = ModelKind::kFLNet;
+  RunScale scale;                 // grid / rounds / steps / fractions
+  PaperHyperParams hparams;       // paper §5.1 verbatim values
+  std::uint64_t data_seed = 20220203;
+  std::uint64_t train_seed = 7;
+  // Optional directory for caching the generated dataset across runs.
+  std::string cache_dir;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  // Generates (or loads from cache) the 9-client dataset.
+  void prepare_data();
+
+  // Runs one training method end-to-end and evaluates it. Requires
+  // prepare_data() first.
+  MethodResult run_method(TrainingMethod method);
+
+  // All eight table rows, in paper order.
+  std::vector<MethodResult> run_paper_table();
+
+  // Round-by-round average test AUC (for the convergence bench).
+  struct ConvergencePoint {
+    int round = 0;
+    double average_auc = 0.0;
+  };
+  std::vector<ConvergencePoint> run_convergence(TrainingMethod method);
+
+  const std::vector<ClientDataset>& data() const { return data_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  std::vector<Client> make_clients();
+  FLRunOptions make_run_options() const;
+  ClientTrainConfig make_client_config() const;
+  std::unique_ptr<FederatedAlgorithm> make_algorithm(TrainingMethod method) const;
+
+  ExperimentConfig config_;
+  ModelFactory factory_;
+  std::vector<ClientDataset> data_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,27 @@
+// Rendering of experiment results in the paper's table layout
+// (Tables 2-5), used by the bench harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "data/generator.hpp"
+#include "util/table.hpp"
+
+namespace fleda {
+
+// Table 2: the experiment data setup (design/placement counts). Pass
+// the realized datasets to report both paper-scale and realized counts.
+AsciiTable render_table2(const std::vector<ClientSpec>& specs,
+                         const std::vector<ClientDataset>& realized);
+
+// Tables 3-5 layout: method rows x (client 1..K, Average) columns.
+AsciiTable render_accuracy_table(const std::string& title,
+                                 const std::vector<MethodResult>& rows);
+
+// Headline-claims summary (paper abstract / §5.2 numbers): FL vs local
+// gain, fine-tuning vs local gain (the "11%" figure), gap to central.
+AsciiTable render_headline_summary(const std::vector<MethodResult>& rows);
+
+}  // namespace fleda

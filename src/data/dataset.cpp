@@ -1,0 +1,73 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+namespace fleda {
+
+Batch make_batch(const std::vector<Sample>& samples,
+                 const std::vector<std::size_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("make_batch: no indices");
+  const Sample& first = samples.at(indices[0]);
+  const Shape& fs = first.features.shape();
+  const Shape& ls = first.label.shape();
+  if (fs.rank() != 3 || ls.rank() != 3) {
+    throw std::invalid_argument("make_batch: samples must be rank-3");
+  }
+  const std::int64_t N = static_cast<std::int64_t>(indices.size());
+  Batch batch;
+  batch.x = Tensor(Shape::of(N, fs.dim(0), fs.dim(1), fs.dim(2)));
+  batch.y = Tensor(Shape::of(N, ls.dim(0), ls.dim(1), ls.dim(2)));
+  const std::int64_t xs = fs.numel();
+  const std::int64_t ys = ls.numel();
+  for (std::int64_t n = 0; n < N; ++n) {
+    const Sample& s = samples.at(indices[static_cast<std::size_t>(n)]);
+    if (s.features.shape() != fs || s.label.shape() != ls) {
+      throw std::invalid_argument("make_batch: inhomogeneous samples");
+    }
+    std::memcpy(batch.x.data() + n * xs, s.features.data(),
+                static_cast<std::size_t>(xs) * sizeof(float));
+    std::memcpy(batch.y.data() + n * ys, s.label.data(),
+                static_cast<std::size_t>(ys) * sizeof(float));
+  }
+  return batch;
+}
+
+BatchSampler::BatchSampler(std::size_t dataset_size, std::size_t batch_size,
+                           Rng rng)
+    : batch_size_(batch_size), order_(dataset_size), rng_(rng) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BatchSampler: zero batch size");
+  }
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  rng_.shuffle(order_);
+}
+
+std::vector<std::size_t> BatchSampler::next() {
+  if (order_.empty()) throw std::logic_error("BatchSampler: empty dataset");
+  std::vector<std::size_t> batch;
+  batch.reserve(batch_size_);
+  while (batch.size() < batch_size_) {
+    if (cursor_ >= order_.size()) {
+      rng_.shuffle(order_);
+      cursor_ = 0;
+      if (!batch.empty()) break;  // do not mix epochs within a batch
+    }
+    batch.push_back(order_[cursor_++]);
+  }
+  return batch;
+}
+
+double dataset_hotspot_rate(const std::vector<Sample>& samples) {
+  double pos = 0.0, total = 0.0;
+  for (const Sample& s : samples) {
+    for (std::int64_t i = 0; i < s.label.numel(); ++i) {
+      pos += s.label[i] > 0.5f ? 1.0 : 0.0;
+    }
+    total += static_cast<double>(s.label.numel());
+  }
+  return total > 0.0 ? pos / total : 0.0;
+}
+
+}  // namespace fleda

@@ -1,0 +1,75 @@
+// Client datasets and batching.
+//
+// Mirrors the paper's problem formulation (§3): K clients, each with
+// private training samples {X_i, Y_i}_k and testing samples generated
+// from *different designs* of the same benchmark suite; no design
+// appears in two clients and no design contributes to both train and
+// test (no information leakage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phys/suite_profile.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+struct Sample {
+  Tensor features;  // [C, H, W]
+  Tensor label;     // [1, H, W]
+};
+
+struct DesignInfo {
+  std::string name;
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+  std::int64_t num_placements = 0;
+};
+
+struct ClientDataset {
+  int client_id = 0;  // 1-based, as in Table 2
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+  std::vector<DesignInfo> train_designs;
+  std::vector<DesignInfo> test_designs;
+  std::vector<Sample> train;
+  std::vector<Sample> test;
+
+  std::int64_t num_train() const { return static_cast<std::int64_t>(train.size()); }
+  std::int64_t num_test() const { return static_cast<std::int64_t>(test.size()); }
+};
+
+// Stacks the selected samples into batch tensors [N,C,H,W] / [N,1,H,W].
+struct Batch {
+  Tensor x;
+  Tensor y;
+  std::int64_t size() const { return x.shape().rank() == 4 ? x.shape().dim(0) : 0; }
+};
+
+Batch make_batch(const std::vector<Sample>& samples,
+                 const std::vector<std::size_t>& indices);
+
+// Epoch-shuffled mini-batch index stream over a sample vector.
+class BatchSampler {
+ public:
+  BatchSampler(std::size_t dataset_size, std::size_t batch_size, Rng rng);
+
+  // Next mini-batch of indices (size <= batch_size; reshuffles between
+  // epochs). Throws if the dataset is empty.
+  std::vector<std::size_t> next();
+
+  std::size_t dataset_size() const { return order_.size(); }
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  std::size_t batch_size_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  Rng rng_;
+};
+
+// Aggregate helpers used by evaluation and dataset statistics.
+double dataset_hotspot_rate(const std::vector<Sample>& samples);
+
+}  // namespace fleda

@@ -1,0 +1,177 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phys/drc.hpp"
+#include "phys/features.hpp"
+#include "phys/global_router.hpp"
+#include "phys/netlist.hpp"
+#include "phys/placer.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+std::vector<ClientSpec> paper_client_specs() {
+  using S = BenchmarkSuite;
+  return {
+      {1, S::kItc99, 4, 2, 462, 230},   //
+      {2, S::kItc99, 2, 1, 231, 114},   //
+      {3, S::kItc99, 2, 2, 231, 232},   //
+      {4, S::kIscas89, 7, 3, 812, 348}, //
+      {5, S::kIscas89, 7, 3, 812, 348}, //
+      {6, S::kIscas89, 6, 3, 697, 348}, //
+      {7, S::kIwls05, 6, 3, 656, 280},  //
+      {8, S::kIwls05, 7, 3, 742, 329},  //
+      {9, S::kIspd15, 9, 4, 175, 84},   //
+  };
+}
+
+namespace {
+
+int scaled_count(int paper_count, int num_designs, double fraction) {
+  const int scaled = static_cast<int>(
+      std::lround(paper_count * fraction));
+  // At least one placement per design so every design contributes.
+  return std::max(scaled, num_designs);
+}
+
+// Generates all placements of one design set (train or test half).
+std::vector<Sample> generate_samples(
+    const std::vector<NetlistPtr>& designs,
+    const std::vector<double>& design_capacity_scale, int total_placements,
+    const DatasetGenOptions& opts, Rng& rng) {
+  const int num_designs = static_cast<int>(designs.size());
+  // Distribute placements round-robin across designs.
+  std::vector<int> per_design(static_cast<std::size_t>(num_designs), 0);
+  for (int i = 0; i < total_placements; ++i) {
+    ++per_design[static_cast<std::size_t>(i % num_designs)];
+  }
+
+  struct Job {
+    int design = 0;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Job> jobs;
+  for (int d = 0; d < num_designs; ++d) {
+    for (int p = 0; p < per_design[static_cast<std::size_t>(d)]; ++p) {
+      jobs.push_back({d, rng.next_u64()});
+    }
+  }
+
+  std::vector<Sample> samples(jobs.size());
+  parallel_for(jobs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end; ++j) {
+      Rng job_rng(jobs[j].seed);
+      const NetlistPtr& netlist = designs[static_cast<std::size_t>(jobs[j].design)];
+
+      PlacerOptions popts;
+      popts.grid_w = opts.grid;
+      popts.grid_h = opts.grid;
+      popts.tech = opts.tech;
+      // Placement-setting diversity: vary SA effort per solution.
+      popts.moves_per_cell =
+          opts.placer_moves_per_cell * job_rng.uniform(0.6, 1.4);
+      Placement pl = place(netlist, popts, job_rng);
+
+      RouterOptions ropts;
+      ropts.tech = opts.tech;
+      // Per-gcell routing demand grows linearly with the grid side
+      // (more cells, longer routes per gcell), so track capacity is
+      // normalized to the 32x32 grid the technology was calibrated on.
+      ropts.capacity_scale =
+          design_capacity_scale[static_cast<std::size_t>(jobs[j].design)] *
+          (static_cast<double>(opts.grid) / 32.0);
+      RoutingResult routing = route(pl, ropts, job_rng);
+
+      DrcOptions dopts;
+      dopts.threshold = opts.tech.drc_overflow_ratio;
+      samples[j] = [&] {
+        FeatureSample fs = extract_features(pl, routing, opts.tech, dopts);
+        return Sample{std::move(fs.features), std::move(fs.label)};
+      }();
+    }
+  });
+  return samples;
+}
+
+}  // namespace
+
+ClientDataset generate_client_dataset(const ClientSpec& spec,
+                                      const DatasetGenOptions& opts) {
+  // Independent, reproducible stream per client.
+  Rng rng(opts.seed ^ (0x5851F42D4C957F2Dull * static_cast<std::uint64_t>(spec.id)));
+  const SuiteProfile profile = profile_for(spec.suite);
+
+  ClientDataset ds;
+  ds.client_id = spec.id;
+  ds.suite = spec.suite;
+
+  auto make_designs = [&](int count, const char* tag,
+                          std::vector<DesignInfo>& infos,
+                          std::vector<double>& capacity_scales) {
+    std::vector<NetlistPtr> designs;
+    for (int d = 0; d < count; ++d) {
+      NetlistGenParams params;
+      params.profile = profile;
+      params.grid_w = opts.grid;
+      params.grid_h = opts.grid;
+      params.gcell_cell_capacity = opts.tech.gcell_cell_capacity;
+      params.name = to_string(spec.suite) + "/client" +
+                    std::to_string(spec.id) + "/" + tag + std::to_string(d);
+      designs.push_back(generate_netlist(params, rng));
+      // Per-design routing-resource jitter: different metal stacks /
+      // floorplans across designs of one suite.
+      capacity_scales.push_back(profile.capacity_scale *
+                                rng.uniform(0.92, 1.08));
+      infos.push_back({params.name, spec.suite, 0});
+    }
+    return designs;
+  };
+
+  std::vector<double> train_caps, test_caps;
+  std::vector<NetlistPtr> train_designs =
+      make_designs(spec.train_designs, "train", ds.train_designs, train_caps);
+  std::vector<NetlistPtr> test_designs =
+      make_designs(spec.test_designs, "test", ds.test_designs, test_caps);
+
+  const int train_count =
+      scaled_count(spec.train_placements, spec.train_designs,
+                   opts.placement_fraction);
+  const int test_count = scaled_count(
+      spec.test_placements, spec.test_designs, opts.placement_fraction);
+
+  ds.train = generate_samples(train_designs, train_caps, train_count, opts, rng);
+  ds.test = generate_samples(test_designs, test_caps, test_count, opts, rng);
+
+  // Record realized placement counts.
+  for (std::size_t d = 0; d < ds.train_designs.size(); ++d) {
+    ds.train_designs[d].num_placements =
+        static_cast<std::int64_t>(ds.train.size() / ds.train_designs.size());
+  }
+  for (std::size_t d = 0; d < ds.test_designs.size(); ++d) {
+    ds.test_designs[d].num_placements =
+        static_cast<std::int64_t>(ds.test.size() / ds.test_designs.size());
+  }
+
+  FLEDA_LOG_DEBUG("client %d (%s): %zu train / %zu test samples, "
+                  "hotspot rate %.3f / %.3f",
+                  spec.id, to_string(spec.suite).c_str(), ds.train.size(),
+                  ds.test.size(), dataset_hotspot_rate(ds.train),
+                  dataset_hotspot_rate(ds.test));
+  return ds;
+}
+
+std::vector<ClientDataset> generate_paper_dataset(
+    const DatasetGenOptions& opts) {
+  std::vector<ClientSpec> specs = paper_client_specs();
+  std::vector<ClientDataset> clients;
+  clients.reserve(specs.size());
+  for (const ClientSpec& spec : specs) {
+    clients.push_back(generate_client_dataset(spec, opts));
+  }
+  return clients;
+}
+
+}  // namespace fleda

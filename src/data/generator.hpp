@@ -1,0 +1,50 @@
+// Dataset generator replicating Table 2 of the paper: 9 clients, each
+// holding designs from exactly one benchmark suite, with the paper's
+// per-client design and placement counts (placement counts are scaled
+// by RunScale::placement_fraction for CPU budgets). Every design is a
+// distinct synthetic netlist; every placement of a design is an
+// independent placer run with its own seed (the paper's "multiple
+// placement solutions generated with different settings").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "phys/technology.hpp"
+
+namespace fleda {
+
+// One row of Table 2.
+struct ClientSpec {
+  int id = 0;
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+  int train_designs = 0;
+  int test_designs = 0;
+  int train_placements = 0;  // paper count, before scaling
+  int test_placements = 0;
+};
+
+// The verbatim Table 2 assignment (K = 9 clients, 74 designs, 7131
+// placements).
+std::vector<ClientSpec> paper_client_specs();
+
+struct DatasetGenOptions {
+  std::int64_t grid = 32;
+  double placement_fraction = 0.12;  // scales Table 2 placement counts
+  std::uint64_t seed = 20220203;     // root seed (DAC'22 vintage)
+  Technology tech = default_technology();
+  // Placer effort (moves per cell); lower = noisier placements.
+  double placer_moves_per_cell = 3.0;
+};
+
+// Generates all K client datasets. Deterministic in `options.seed`;
+// placements are generated in parallel across the thread pool.
+std::vector<ClientDataset> generate_paper_dataset(
+    const DatasetGenOptions& options);
+
+// Generates a single client's dataset (used by tests and examples).
+ClientDataset generate_client_dataset(const ClientSpec& spec,
+                                      const DatasetGenOptions& options);
+
+}  // namespace fleda

@@ -1,0 +1,51 @@
+#include "fl/alpha_sync.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+std::vector<ModelParameters> AlphaPortionSync::run(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts) {
+  if (alpha_ < 0.0 || alpha_ > 1.0) {
+    throw std::invalid_argument("AlphaPortionSync: alpha outside [0,1]");
+  }
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  const ModelParameters initial = ModelParameters::from_model(*init);
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+
+  // Per-client deployed models W_k; all start from the common init.
+  std::vector<ModelParameters> deployed(clients.size(), initial);
+
+  for (int r = 0; r < opts.rounds; ++r) {
+    std::vector<const ModelParameters*> deployed_ptrs;
+    for (const auto& d : deployed) deployed_ptrs.push_back(&d);
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed_ptrs, opts.client);
+
+    // Customized aggregation per client.
+    for (std::size_t k = 0; k < clients.size(); ++k) {
+      ModelParameters mixed = updates[k];
+      mixed.scale(alpha_);
+      const double others_total = total_weight - weights[k];
+      for (std::size_t j = 0; j < clients.size(); ++j) {
+        if (j == k) continue;
+        const double share =
+            others_total > 0.0
+                ? (1.0 - alpha_) * weights[j] / others_total
+                : 0.0;
+        mixed.add_scaled(updates[j], share);
+      }
+      deployed[k] = std::move(mixed);
+    }
+
+    if (opts.on_round) opts.on_round(r, deployed);
+  }
+  return deployed;
+}
+
+}  // namespace fleda

@@ -1,0 +1,29 @@
+// FedProx + alpha-portion sync (paper Fig. 2d): instead of one global
+// model, the developer aggregates a *customized* model per client
+//
+//   W_k^{r+1} = alpha * w_k^r + (1 - alpha) * sum_{k' != k} n_k'/(n - n_k) * w_k'^r
+//
+// i.e. each client's own parameters get a fixed alpha share and the
+// remaining clients split (1 - alpha) by sample count. alpha = n_k/n
+// recovers FedProx; larger alpha personalizes harder.
+#pragma once
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+class AlphaPortionSync : public FederatedAlgorithm {
+ public:
+  explicit AlphaPortionSync(double alpha) : alpha_(alpha) {}
+
+  std::string name() const override { return "FedProx + alpha-Portion Sync"; }
+
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts) override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,70 @@
+#include "fl/assigned_clustering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fleda {
+
+AssignedClustering AssignedClustering::paper_assignment() {
+  // Clients 1-3 (ITC'99), 4-6 (ISCAS'89), 7-8 (IWLS'05), 9 (ISPD'15).
+  return AssignedClustering({0, 0, 0, 1, 1, 1, 2, 2, 3});
+}
+
+std::vector<ModelParameters> AssignedClustering::run(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts) {
+  if (assignment_.size() != clients.size()) {
+    throw std::invalid_argument(
+        "AssignedClustering: assignment size != #clients");
+  }
+  const int num_clusters =
+      1 + *std::max_element(assignment_.begin(), assignment_.end());
+
+  Rng rng(opts.seed);
+  std::vector<ModelParameters> cluster_models;
+  cluster_models.reserve(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    RoutabilityModelPtr m = factory(rng);
+    cluster_models.push_back(ModelParameters::from_model(*m));
+  }
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  for (int r = 0; r < opts.rounds; ++r) {
+    std::vector<const ModelParameters*> deployed;
+    deployed.reserve(clients.size());
+    for (std::size_t k = 0; k < clients.size(); ++k) {
+      deployed.push_back(
+          &cluster_models[static_cast<std::size_t>(assignment_[k])]);
+    }
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed, opts.client);
+
+    for (int c = 0; c < num_clusters; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        if (assignment_[k] == c) members.push_back(k);
+      }
+      if (members.empty()) continue;
+      cluster_models[static_cast<std::size_t>(c)] =
+          Server::aggregate_subset(updates, weights, members);
+    }
+
+    if (opts.on_round) {
+      std::vector<ModelParameters> snapshot;
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        snapshot.push_back(
+            cluster_models[static_cast<std::size_t>(assignment_[k])]);
+      }
+      opts.on_round(r, snapshot);
+    }
+  }
+
+  std::vector<ModelParameters> finals;
+  finals.reserve(clients.size());
+  for (std::size_t k = 0; k < clients.size(); ++k) {
+    finals.push_back(cluster_models[static_cast<std::size_t>(assignment_[k])]);
+  }
+  return finals;
+}
+
+}  // namespace fleda

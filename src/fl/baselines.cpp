@@ -1,0 +1,58 @@
+#include "fl/baselines.hpp"
+
+#include "nn/loss.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> train_local_baselines(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const BaselineOptions& opts) {
+  // Common initialization for comparability across clients.
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  const ModelParameters initial = ModelParameters::from_model(*init);
+
+  std::vector<ModelParameters> models(clients.size(), initial);
+  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      // Plain local training: fine_tune == no proximal anchor.
+      models[k] = clients[k].fine_tune(initial, opts.total_steps, opts.client);
+    }
+  });
+  return models;
+}
+
+ModelParameters train_centralized(const std::vector<ClientDataset>& clients,
+                                  const ModelFactory& factory,
+                                  const BaselineOptions& opts) {
+  // Pool all training samples (this is exactly what the privacy
+  // constraint forbids; it serves as the upper-limit reference).
+  std::vector<Sample> pooled;
+  for (const ClientDataset& c : clients) {
+    for (const Sample& s : c.train) pooled.push_back(s);
+  }
+
+  Rng rng(opts.seed);
+  RoutabilityModelPtr model = factory(rng);
+
+  AdamOptions aopts;
+  aopts.lr = opts.client.learning_rate;
+  aopts.weight_decay = opts.client.l2_regularization;
+  Adam optimizer(model->parameters(), aopts);
+
+  BatchSampler sampler(pooled.size(),
+                       static_cast<std::size_t>(opts.client.batch_size),
+                       rng.fork(0x63656e74ull));
+  for (int step = 0; step < opts.total_steps; ++step) {
+    Batch batch = make_batch(pooled, sampler.next());
+    optimizer.zero_grad();
+    Tensor pred = model->forward(batch.x, /*training=*/true);
+    LossResult loss = mse_loss(pred, batch.y);
+    model->backward(loss.grad);
+    optimizer.step();
+  }
+  return ModelParameters::from_model(*model);
+}
+
+}  // namespace fleda

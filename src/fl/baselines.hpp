@@ -1,0 +1,31 @@
+// Non-federated baselines from the paper's tables:
+//   - "Local Average (b_1 to b_9)": each client trains a model on its
+//     own data only (traditional per-company commissioning).
+//   - "Training Centrally on All Data": all clients' training data is
+//     pooled on one machine (no privacy) — the empirical upper limit.
+#pragma once
+
+#include <vector>
+
+#include "fl/client.hpp"
+
+namespace fleda {
+
+struct BaselineOptions {
+  int total_steps = 5000;  // comparable budget to R * S
+  ClientTrainConfig client;  // lr / batch / l2 reused; mu ignored
+  std::uint64_t seed = 1;
+};
+
+// Trains b_k for every client (in parallel); returns one model per
+// client, trained exclusively on that client's data.
+std::vector<ModelParameters> train_local_baselines(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const BaselineOptions& opts);
+
+// Trains one model on the union of all clients' training data.
+ModelParameters train_centralized(const std::vector<ClientDataset>& clients,
+                                  const ModelFactory& factory,
+                                  const BaselineOptions& opts);
+
+}  // namespace fleda

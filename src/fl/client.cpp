@@ -1,0 +1,122 @@
+#include "fl/client.hpp"
+
+#include <stdexcept>
+
+#include "metrics/roc_auc.hpp"
+#include "nn/loss.hpp"
+
+namespace fleda {
+
+Client::Client(int id, const ClientDataset* data, const ModelFactory& factory,
+               Rng rng)
+    : id_(id), data_(data), rng_(rng) {
+  if (data_ == nullptr || data_->train.empty() || data_->test.empty()) {
+    throw std::invalid_argument("Client: empty dataset for client " +
+                                std::to_string(id));
+  }
+  model_ = factory(rng_);
+}
+
+ModelParameters Client::train_steps(const ModelParameters& start, int steps,
+                                    const ClientTrainConfig& cfg,
+                                    const ModelParameters* anchor) {
+  start.apply_to(*model_);
+
+  AdamOptions aopts;
+  aopts.lr = cfg.learning_rate;
+  aopts.weight_decay = cfg.l2_regularization;
+  Adam optimizer(model_->parameters(), aopts);
+
+  BatchSampler sampler(data_->train.size(),
+                       static_cast<std::size_t>(cfg.batch_size),
+                       rng_.fork(0x6261746368ull));
+
+  // Anchor values aligned with the model's parameter order (buffers
+  // are not part of the proximal term).
+  std::vector<const Tensor*> anchor_values;
+  if (anchor != nullptr) {
+    const auto params = model_->parameters();
+    std::size_t i = 0;
+    for (const ParameterEntry& e : anchor->entries()) {
+      if (e.is_buffer) continue;
+      if (i >= params.size() || params[i]->name != e.name) {
+        throw std::invalid_argument("Client: anchor/model mismatch at " +
+                                    e.name);
+      }
+      ++i;
+    }
+  }
+
+  double loss_acc = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    Batch batch = make_batch(data_->train, sampler.next());
+    optimizer.zero_grad();
+    Tensor pred = model_->forward(batch.x, /*training=*/true);
+    LossResult loss = mse_loss(pred, batch.y);
+    loss_acc += loss.value;
+    model_->backward(loss.grad);
+    if (anchor != nullptr && cfg.mu > 0.0) {
+      // grad += mu * (w - W^r)
+      const auto params = model_->parameters();
+      std::size_t i = 0;
+      for (const ParameterEntry& e : anchor->entries()) {
+        if (e.is_buffer) continue;
+        Parameter* p = params[i++];
+        const float mu = static_cast<float>(cfg.mu);
+        float* g = p->grad.data();
+        const float* w = p->value.data();
+        const float* a = e.value.data();
+        const std::int64_t n = p->value.numel();
+        for (std::int64_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+      }
+    }
+    optimizer.step();
+  }
+  last_train_loss_ = steps > 0 ? static_cast<float>(loss_acc / steps) : 0.0f;
+  return ModelParameters::from_model(*model_);
+}
+
+ModelParameters Client::local_update(const ModelParameters& start,
+                                     const ClientTrainConfig& cfg) {
+  return train_steps(start, cfg.steps, cfg, &start);
+}
+
+ModelParameters Client::fine_tune(const ModelParameters& start, int steps,
+                                  const ClientTrainConfig& cfg) {
+  return train_steps(start, steps, cfg, /*anchor=*/nullptr);
+}
+
+double Client::evaluate_train_loss(const ModelParameters& params,
+                                   int max_batches) {
+  params.apply_to(*model_);
+  BatchSampler sampler(data_->train.size(), 8, rng_.fork(0x6c6f7373ull));
+  double acc = 0.0;
+  int batches = 0;
+  for (int b = 0; b < max_batches; ++b) {
+    Batch batch = make_batch(data_->train, sampler.next());
+    Tensor pred = model_->forward(batch.x, /*training=*/false);
+    acc += mse_loss(pred, batch.y).value;
+    ++batches;
+  }
+  return batches > 0 ? acc / batches : 0.0;
+}
+
+double Client::evaluate_test_auc(const ModelParameters& params) {
+  params.apply_to(*model_);
+  AucAccumulator auc;
+  // Evaluate in small batches to bound activation memory.
+  const std::size_t chunk = 8;
+  for (std::size_t begin = 0; begin < data_->test.size(); begin += chunk) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = begin;
+         i < std::min(begin + chunk, data_->test.size()); ++i) {
+      idx.push_back(i);
+    }
+    Batch batch = make_batch(data_->test, idx);
+    Tensor pred = model_->forward(batch.x, /*training=*/false);
+    auc.add(pred, batch.y);
+  }
+  return auc.auc();
+}
+
+}  // namespace fleda

@@ -1,0 +1,28 @@
+#include "fl/fedavg.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> FedAvg::run(std::vector<Client>& clients,
+                                         const ModelFactory& factory,
+                                         const FLRunOptions& opts) {
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  ModelParameters global = ModelParameters::from_model(*init);
+
+  ClientTrainConfig cfg = opts.client;
+  cfg.mu = 0.0;  // FedAvg: no proximal term
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  for (int r = 0; r < opts.rounds; ++r) {
+    std::vector<const ModelParameters*> deployed(clients.size(), &global);
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed, cfg);
+    global = Server::aggregate(updates, weights);
+    if (opts.on_round) {
+      opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));
+    }
+  }
+  return std::vector<ModelParameters>(clients.size(), global);
+}
+
+}  // namespace fleda

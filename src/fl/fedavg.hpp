@@ -1,0 +1,19 @@
+// FedAvg (McMahan et al. 2017): the baseline FL round loop of Fig. 1
+// with plain local SGD/Adam training (no proximal term). Included for
+// the convergence-comparison bench; the paper builds on FedProx.
+#pragma once
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+class FedAvg : public FederatedAlgorithm {
+ public:
+  std::string name() const override { return "FedAvg"; }
+
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts) override;
+};
+
+}  // namespace fleda

@@ -1,0 +1,26 @@
+#include "fl/fedprox.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> FedProx::run(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts) {
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  ModelParameters global = ModelParameters::from_model(*init);
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  for (int r = 0; r < opts.rounds; ++r) {
+    std::vector<const ModelParameters*> deployed(clients.size(), &global);
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed, opts.client);
+    global = Server::aggregate(updates, weights);
+    if (opts.on_round) {
+      opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));
+    }
+  }
+  global_ = global;
+  return std::vector<ModelParameters>(clients.size(), global);
+}
+
+}  // namespace fleda

@@ -1,0 +1,54 @@
+#include "fl/fedprox_lg.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> FedProxLG::run(std::vector<Client>& clients,
+                                            const ModelFactory& factory,
+                                            const FLRunOptions& opts) {
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  ModelParameters global = ModelParameters::from_model(*init);
+
+  // Each client's full parameter state; the aggregated global part is
+  // spliced in at deployment, the local part persists across rounds.
+  std::vector<ModelParameters> client_state(clients.size(), global);
+  auto is_global = [this](const std::string& n) { return !is_local_(n); };
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  for (int r = 0; r < opts.rounds; ++r) {
+    // Deploy: client k starts from {G^r, l_k^r}.
+    std::vector<ModelParameters> deployed_storage;
+    deployed_storage.reserve(clients.size());
+    for (std::size_t k = 0; k < clients.size(); ++k) {
+      deployed_storage.push_back(client_state[k].merged_with(global, is_global));
+    }
+    std::vector<const ModelParameters*> deployed;
+    for (const auto& d : deployed_storage) deployed.push_back(&d);
+
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed, opts.client);
+
+    // Server aggregates only the global part; local parts stay put.
+    ModelParameters aggregate = Server::aggregate(updates, weights);
+    global = global.merged_with(aggregate, is_global);
+    client_state = std::move(updates);
+
+    if (opts.on_round) {
+      std::vector<ModelParameters> snapshot;
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        snapshot.push_back(client_state[k].merged_with(global, is_global));
+      }
+      opts.on_round(r, snapshot);
+    }
+  }
+
+  // Final per-client models: {G^R, l_k^R}.
+  std::vector<ModelParameters> finals;
+  finals.reserve(clients.size());
+  for (std::size_t k = 0; k < clients.size(); ++k) {
+    finals.push_back(client_state[k].merged_with(global, is_global));
+  }
+  return finals;
+}
+
+}  // namespace fleda

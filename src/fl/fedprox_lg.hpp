@@ -1,0 +1,30 @@
+// FedProx-LG (after Liang et al. 2020, "think locally, act globally"):
+// the model is split into a global part g (aggregated every round) and
+// a local part l_k kept private on each client (paper Fig. 2a). Per
+// the paper's setup, the local part is each model's output layer and
+// the rest is global.
+#pragma once
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+class FedProxLG : public FederatedAlgorithm {
+ public:
+  // `is_local` decides which parameter names stay private; defaults to
+  // the paper's output-layer split.
+  explicit FedProxLG(
+      std::function<bool(const std::string&)> is_local = is_output_layer_param)
+      : is_local_(std::move(is_local)) {}
+
+  std::string name() const override { return "FedProx-LG"; }
+
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts) override;
+
+ private:
+  std::function<bool(const std::string&)> is_local_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,21 @@
+#include "fl/finetune.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> FineTune::run(std::vector<Client>& clients,
+                                           const ModelFactory& factory,
+                                           const FLRunOptions& opts) {
+  std::vector<ModelParameters> finals = base_->run(clients, factory, opts);
+
+  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      finals[k] = clients[k].fine_tune(finals[k], finetune_steps_,
+                                       opts.client);
+    }
+  });
+  return finals;
+}
+
+}  // namespace fleda

@@ -1,0 +1,33 @@
+// FedProx + local fine-tuning (the paper's best personalization):
+// train a generalized model with FedProx, then every client continues
+// training it on its own data for S' steps without the decentralized
+// constraint. Implemented as a wrapper usable over any base algorithm.
+#pragma once
+
+#include <memory>
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+class FineTune : public FederatedAlgorithm {
+ public:
+  // Wraps `base`; after base.run(), each client fine-tunes its final
+  // model for `finetune_steps` plain (mu = 0, no anchor) steps.
+  FineTune(std::unique_ptr<FederatedAlgorithm> base, int finetune_steps)
+      : base_(std::move(base)), finetune_steps_(finetune_steps) {}
+
+  std::string name() const override {
+    return base_->name() + " + Fine-tuning";
+  }
+
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts) override;
+
+ private:
+  std::unique_ptr<FederatedAlgorithm> base_;
+  int finetune_steps_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,84 @@
+#include "fl/ifca.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> IFCA::run(std::vector<Client>& clients,
+                                       const ModelFactory& factory,
+                                       const FLRunOptions& opts) {
+  if (num_clusters_ <= 0) throw std::invalid_argument("IFCA: C <= 0");
+  Rng rng(opts.seed);
+
+  // Independent initialization per cluster (the algorithm relies on
+  // initial diversity for cluster identifiability).
+  std::vector<ModelParameters> cluster_models;
+  cluster_models.reserve(static_cast<std::size_t>(num_clusters_));
+  for (int c = 0; c < num_clusters_; ++c) {
+    RoutabilityModelPtr m = factory(rng);
+    cluster_models.push_back(ModelParameters::from_model(*m));
+  }
+
+  const std::vector<double> weights = Server::client_weights(clients);
+  assignment_.assign(clients.size(), 0);
+
+  for (int r = 0; r < opts.rounds; ++r) {
+    // 1) Cluster selection: lowest training loss among the C models.
+    parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        double best_loss = 1e300;
+        int best_c = 0;
+        for (int c = 0; c < num_clusters_; ++c) {
+          const double loss = clients[k].evaluate_train_loss(
+              cluster_models[static_cast<std::size_t>(c)], selection_batches_);
+          if (loss < best_loss) {
+            best_loss = loss;
+            best_c = c;
+          }
+        }
+        assignment_[k] = best_c;
+      }
+    });
+
+    // 2) Local training of the chosen cluster model.
+    std::vector<const ModelParameters*> deployed;
+    deployed.reserve(clients.size());
+    for (std::size_t k = 0; k < clients.size(); ++k) {
+      deployed.push_back(
+          &cluster_models[static_cast<std::size_t>(assignment_[k])]);
+    }
+    std::vector<ModelParameters> updates =
+        parallel_local_updates(clients, deployed, opts.client);
+
+    // 3) Per-cluster aggregation over this round's members.
+    for (int c = 0; c < num_clusters_; ++c) {
+      std::vector<std::size_t> members;
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        if (assignment_[k] == c) members.push_back(k);
+      }
+      if (members.empty()) continue;  // dead cluster keeps its model
+      cluster_models[static_cast<std::size_t>(c)] =
+          Server::aggregate_subset(updates, weights, members);
+    }
+
+    if (opts.on_round) {
+      std::vector<ModelParameters> snapshot;
+      for (std::size_t k = 0; k < clients.size(); ++k) {
+        snapshot.push_back(
+            cluster_models[static_cast<std::size_t>(assignment_[k])]);
+      }
+      opts.on_round(r, snapshot);
+    }
+  }
+
+  std::vector<ModelParameters> finals;
+  finals.reserve(clients.size());
+  for (std::size_t k = 0; k < clients.size(); ++k) {
+    finals.push_back(cluster_models[static_cast<std::size_t>(assignment_[k])]);
+  }
+  return finals;
+}
+
+}  // namespace fleda

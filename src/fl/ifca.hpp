@@ -1,0 +1,33 @@
+// IFCA — Iterative Federated Clustering Algorithm (Ghosh et al. 2020),
+// paper Fig. 2b. The developer maintains C cluster models; each round
+// every client evaluates all C models on its training data, joins the
+// lowest-loss cluster, trains that model, and the developer aggregates
+// per cluster over that round's members. Clusters can die (no members)
+// — their model is then carried over unchanged.
+#pragma once
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+class IFCA : public FederatedAlgorithm {
+ public:
+  explicit IFCA(int num_clusters, int selection_batches = 4)
+      : num_clusters_(num_clusters), selection_batches_(selection_batches) {}
+
+  std::string name() const override { return "IFCA"; }
+
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts) override;
+
+  // Cluster chosen by each client in the final round.
+  const std::vector<int>& final_assignment() const { return assignment_; }
+
+ private:
+  int num_clusters_;
+  int selection_batches_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,140 @@
+#include "fl/parameters.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fleda {
+
+ModelParameters ModelParameters::from_model(Module& model) {
+  ModelParameters snapshot;
+  for (Parameter* p : model.parameters()) {
+    snapshot.entries_.push_back({p->name, false, p->value});
+  }
+  for (const NamedBuffer& b : model.buffers()) {
+    snapshot.entries_.push_back({b.name, true, *b.tensor});
+  }
+  return snapshot;
+}
+
+void ModelParameters::apply_to(Module& model) const {
+  std::size_t i = 0;
+  for (Parameter* p : model.parameters()) {
+    if (i >= entries_.size() || entries_[i].name != p->name ||
+        entries_[i].value.shape() != p->value.shape()) {
+      throw std::invalid_argument("ModelParameters::apply_to: mismatch at " +
+                                  p->name);
+    }
+    p->value = entries_[i].value;
+    ++i;
+  }
+  for (const NamedBuffer& b : model.buffers()) {
+    if (i >= entries_.size() || entries_[i].name != b.name ||
+        entries_[i].value.shape() != b.tensor->shape()) {
+      throw std::invalid_argument("ModelParameters::apply_to: mismatch at " +
+                                  b.name);
+    }
+    *b.tensor = entries_[i].value;
+    ++i;
+  }
+  if (i != entries_.size()) {
+    throw std::invalid_argument(
+        "ModelParameters::apply_to: model has fewer entries than snapshot");
+  }
+}
+
+bool ModelParameters::structurally_equal(const ModelParameters& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name != other.entries_[i].name ||
+        entries_[i].is_buffer != other.entries_[i].is_buffer ||
+        entries_[i].value.shape() != other.entries_[i].value.shape()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ModelParameters ModelParameters::weighted_average(
+    const std::vector<const ModelParameters*>& snapshots,
+    const std::vector<double>& weights) {
+  if (snapshots.empty() || snapshots.size() != weights.size()) {
+    throw std::invalid_argument("weighted_average: bad arguments");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_average: w < 0");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_average: zero total weight");
+  }
+
+  ModelParameters result = *snapshots[0];
+  result.scale(weights[0] / total);
+  for (std::size_t s = 1; s < snapshots.size(); ++s) {
+    if (!result.structurally_equal(*snapshots[s])) {
+      throw std::invalid_argument("weighted_average: structure mismatch");
+    }
+    result.add_scaled(*snapshots[s], weights[s] / total);
+  }
+  return result;
+}
+
+void ModelParameters::add_scaled(const ModelParameters& other, double alpha) {
+  if (!structurally_equal(other)) {
+    throw std::invalid_argument("add_scaled: structure mismatch");
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    axpy(entries_[i].value, static_cast<float>(alpha),
+         other.entries_[i].value);
+  }
+}
+
+void ModelParameters::scale(double alpha) {
+  for (auto& e : entries_) scale_inplace(e.value, static_cast<float>(alpha));
+}
+
+double ModelParameters::squared_distance(const ModelParameters& other) const {
+  if (!structurally_equal(other)) {
+    throw std::invalid_argument("squared_distance: structure mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].is_buffer) continue;
+    const Tensor& a = entries_[i].value;
+    const Tensor& b = other.entries_[i].value;
+    for (std::int64_t j = 0; j < a.numel(); ++j) {
+      const double d = static_cast<double>(a[j]) - b[j];
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+ModelParameters ModelParameters::merged_with(
+    const ModelParameters& other,
+    const std::function<bool(const std::string&)>& take_other) const {
+  if (!structurally_equal(other)) {
+    throw std::invalid_argument("merged_with: structure mismatch");
+  }
+  ModelParameters result = *this;
+  for (std::size_t i = 0; i < result.entries_.size(); ++i) {
+    if (take_other(result.entries_[i].name)) {
+      result.entries_[i].value = other.entries_[i].value;
+    }
+  }
+  return result;
+}
+
+std::int64_t ModelParameters::numel() const {
+  std::int64_t n = 0;
+  for (const auto& e : entries_) n += e.value.numel();
+  return n;
+}
+
+bool is_output_layer_param(const std::string& name) {
+  return name.rfind("output_conv", 0) == 0;
+}
+
+}  // namespace fleda

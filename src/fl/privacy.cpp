@@ -1,0 +1,50 @@
+#include "fl/privacy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+double update_norm(const ModelParameters& update,
+                   const ModelParameters& reference) {
+  return std::sqrt(update.squared_distance(reference));
+}
+
+double clip_update(ModelParameters& update, const ModelParameters& reference,
+                   double clip_norm) {
+  if (clip_norm <= 0.0) {
+    throw std::invalid_argument("clip_update: clip_norm must be > 0");
+  }
+  const double norm = update_norm(update, reference);
+  if (norm <= clip_norm || norm == 0.0) return norm;
+  // update = reference + (update - reference) * clip/norm
+  const double scale = clip_norm / norm;
+  ModelParameters delta = update;
+  delta.add_scaled(reference, -1.0);
+  update = reference;
+  update.add_scaled(delta, scale);
+  return norm;
+}
+
+void add_gaussian_noise(ModelParameters& params, double sigma, Rng& rng) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("add_gaussian_noise: sigma must be >= 0");
+  }
+  if (sigma == 0.0) return;
+  for (ParameterEntry& e : params.mutable_entries()) {
+    for (std::int64_t i = 0; i < e.value.numel(); ++i) {
+      e.value[i] += static_cast<float>(rng.normal(0.0, sigma));
+    }
+  }
+}
+
+void privatize_update(ModelParameters& update,
+                      const ModelParameters& reference, const DpOptions& opts,
+                      Rng& rng) {
+  clip_update(update, reference, opts.clip_norm);
+  if (opts.noise_multiplier > 0.0) {
+    add_gaussian_noise(update, opts.noise_multiplier * opts.clip_norm, rng);
+  }
+}
+
+}  // namespace fleda

@@ -1,0 +1,42 @@
+// Update-level privacy mechanisms (extension).
+//
+// The paper explicitly scopes out the privacy engineering it cites
+// ([19] local/central DP, [21] representation defenses) as "not
+// special in ML for EDA". This module implements the standard
+// Gaussian-mechanism building blocks so the effect of DP noise on the
+// paper's training flow can be studied: clip each client's parameter
+// *delta* (update - deployed model) to a maximum L2 norm, then add
+// isotropic Gaussian noise calibrated as sigma = noise_multiplier *
+// clip_norm. Buffers (BatchNorm statistics) are clipped/noised along
+// with parameters — they leak data statistics too.
+#pragma once
+
+#include "fl/parameters.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+struct DpOptions {
+  double clip_norm = 1.0;         // max L2 norm of a client delta
+  double noise_multiplier = 0.0;  // sigma / clip_norm; 0 = clip only
+};
+
+// L2 norm of (update - reference) over all entries.
+double update_norm(const ModelParameters& update,
+                   const ModelParameters& reference);
+
+// Scales (update - reference) down to clip_norm if it exceeds it;
+// returns the pre-clip norm.
+double clip_update(ModelParameters& update, const ModelParameters& reference,
+                   double clip_norm);
+
+// Adds N(0, sigma^2) noise to every entry of `params`.
+void add_gaussian_noise(ModelParameters& params, double sigma, Rng& rng);
+
+// Applies the full mechanism to one client update in place:
+// clip the delta, then add noise_multiplier * clip_norm Gaussian noise.
+void privatize_update(ModelParameters& update,
+                      const ModelParameters& reference, const DpOptions& opts,
+                      Rng& rng);
+
+}  // namespace fleda

@@ -1,0 +1,40 @@
+#include "fl/server.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+std::vector<double> Server::client_weights(const std::vector<Client>& clients) {
+  std::vector<double> weights;
+  weights.reserve(clients.size());
+  for (const Client& c : clients) {
+    weights.push_back(static_cast<double>(c.num_train()));
+  }
+  return weights;
+}
+
+ModelParameters Server::aggregate(const std::vector<ModelParameters>& updates,
+                                  const std::vector<double>& weights) {
+  std::vector<const ModelParameters*> ptrs;
+  ptrs.reserve(updates.size());
+  for (const auto& u : updates) ptrs.push_back(&u);
+  return ModelParameters::weighted_average(ptrs, weights);
+}
+
+ModelParameters Server::aggregate_subset(
+    const std::vector<ModelParameters>& updates,
+    const std::vector<double>& weights,
+    const std::vector<std::size_t>& members) {
+  if (members.empty()) {
+    throw std::invalid_argument("aggregate_subset: no members");
+  }
+  std::vector<const ModelParameters*> ptrs;
+  std::vector<double> w;
+  for (std::size_t m : members) {
+    ptrs.push_back(&updates.at(m));
+    w.push_back(weights.at(m));
+  }
+  return ModelParameters::weighted_average(ptrs, w);
+}
+
+}  // namespace fleda

@@ -1,0 +1,31 @@
+// Server (the "developer" in the paper): the only party besides the
+// clients, which never sees data — it only aggregates ModelParameters
+// weighted by each client's sample count (n_k / n), as in
+// W^{r+1} = sum_k (n_k / n) w_k^r.
+#pragma once
+
+#include <vector>
+
+#include "fl/client.hpp"
+#include "fl/parameters.hpp"
+
+namespace fleda {
+
+class Server {
+ public:
+  // Sample-count weights n_k for a set of clients.
+  static std::vector<double> client_weights(const std::vector<Client>& clients);
+
+  // Weighted FedAvg aggregation of client updates.
+  static ModelParameters aggregate(const std::vector<ModelParameters>& updates,
+                                   const std::vector<double>& weights);
+
+  // Aggregation over a subset (e.g. one cluster's members). `members`
+  // are indices into updates/weights.
+  static ModelParameters aggregate_subset(
+      const std::vector<ModelParameters>& updates,
+      const std::vector<double>& weights,
+      const std::vector<std::size_t>& members);
+};
+
+}  // namespace fleda

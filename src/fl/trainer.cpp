@@ -1,0 +1,25 @@
+#include "fl/trainer.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
+    std::vector<Client>& clients,
+    const std::vector<const ModelParameters*>& deployed,
+    const ClientTrainConfig& cfg) {
+  if (clients.size() != deployed.size()) {
+    throw std::invalid_argument("parallel_local_updates: size mismatch");
+  }
+  std::vector<ModelParameters> updates(clients.size());
+  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      updates[k] = clients[k].local_update(*deployed[k], cfg);
+    }
+  });
+  return updates;
+}
+
+}  // namespace fleda

@@ -1,0 +1,48 @@
+// FederatedAlgorithm: common interface for all decentralized training
+// schemes in the paper (Fig. 1 round loop; Fig. 2 personalization
+// variants). run() executes R rounds over a set of clients and returns
+// one final model per client — for non-personalized algorithms all K
+// entries are the same global model, for personalized ones they
+// differ.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fl/client.hpp"
+#include "fl/server.hpp"
+
+namespace fleda {
+
+struct FLRunOptions {
+  int rounds = 50;  // R
+  ClientTrainConfig client;
+  std::uint64_t seed = 1;  // initialization seed for global model(s)
+  // Optional progress hook: (round, per-client deployed parameters).
+  std::function<void(int, const std::vector<ModelParameters>&)> on_round;
+};
+
+class FederatedAlgorithm {
+ public:
+  virtual ~FederatedAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  // Runs the full decentralized training; returns per-client final
+  // models (size == clients.size()).
+  virtual std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                           const ModelFactory& factory,
+                                           const FLRunOptions& opts) = 0;
+
+ protected:
+  // Runs local_update on every client in parallel (each client only
+  // touches its own model and data). deployed[k] is what client k
+  // starts from this round.
+  static std::vector<ModelParameters> parallel_local_updates(
+      std::vector<Client>& clients,
+      const std::vector<const ModelParameters*>& deployed,
+      const ClientTrainConfig& cfg);
+};
+
+}  // namespace fleda

@@ -1,0 +1,56 @@
+#include "metrics/confusion.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision() const {
+  return (tp + fp) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::recall() const {
+  return (tp + fn) == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::false_positive_rate() const {
+  return (fp + tn) == 0 ? 0.0
+                        : static_cast<double>(fp) / static_cast<double>(fp + tn);
+}
+
+ConfusionMatrix confusion_at(const Tensor& scores, const Tensor& labels,
+                             float threshold) {
+  if (scores.numel() != labels.numel()) {
+    throw std::invalid_argument("confusion_at: numel mismatch");
+  }
+  ConfusionMatrix cm;
+  const std::int64_t n = scores.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool pred = scores[i] > threshold;
+    const bool pos = labels[i] > 0.5f;
+    if (pred && pos) {
+      ++cm.tp;
+    } else if (pred && !pos) {
+      ++cm.fp;
+    } else if (!pred && pos) {
+      ++cm.fn;
+    } else {
+      ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace fleda

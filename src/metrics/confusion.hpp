@@ -1,0 +1,26 @@
+// Thresholded confusion matrix and derived classification metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+struct ConfusionMatrix {
+  std::int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::int64_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  double precision() const;  // 0 when no positive predictions
+  double recall() const;     // 0 when no positive labels
+  double f1() const;
+  double true_positive_rate() const { return recall(); }
+  double false_positive_rate() const;
+};
+
+// Builds a confusion matrix by thresholding scores at `threshold`.
+ConfusionMatrix confusion_at(const Tensor& scores, const Tensor& labels,
+                             float threshold);
+
+}  // namespace fleda

@@ -1,0 +1,72 @@
+#include "metrics/roc_auc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fleda {
+
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<float>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_auc: size mismatch");
+  }
+  const std::size_t n = scores.size();
+  if (n == 0) return 0.5;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Midranks with tie groups; accumulate rank-sum of positives.
+  double rank_sum_pos = 0.0;
+  std::size_t num_pos = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // ranks i+1 .. j (1-based); midrank:
+    const double midrank = 0.5 * (static_cast<double>(i + 1) + j);
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        rank_sum_pos += midrank;
+        ++num_pos;
+      }
+    }
+    i = j;
+  }
+  const std::size_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+void AucAccumulator::add(const Tensor& scores, const Tensor& labels) {
+  if (scores.numel() != labels.numel()) {
+    throw std::invalid_argument("AucAccumulator::add: numel mismatch");
+  }
+  const std::int64_t n = scores.numel();
+  scores_.reserve(scores_.size() + static_cast<std::size_t>(n));
+  labels_.reserve(labels_.size() + static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    scores_.push_back(scores[k]);
+    labels_.push_back(labels[k]);
+  }
+}
+
+void AucAccumulator::add(float score, float label) {
+  scores_.push_back(score);
+  labels_.push_back(label);
+}
+
+double AucAccumulator::auc() const { return roc_auc(scores_, labels_); }
+
+void AucAccumulator::reset() {
+  scores_.clear();
+  labels_.clear();
+}
+
+}  // namespace fleda

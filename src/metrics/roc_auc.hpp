@@ -1,0 +1,34 @@
+// ROC AUC — the paper's accuracy metric. Computed exactly via the
+// rank statistic (Mann-Whitney U) with midrank tie handling, over all
+// pixels of all evaluated samples.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+// AUC of scores vs binary labels (label > 0.5 = positive). Returns 0.5
+// when either class is absent (undefined AUC, neutral convention).
+double roc_auc(const std::vector<float>& scores,
+               const std::vector<float>& labels);
+
+// Streaming accumulator: collect (score, label) pixels sample by
+// sample, then compute once.
+class AucAccumulator {
+ public:
+  // Appends every element of `scores` / `labels` (same numel).
+  void add(const Tensor& scores, const Tensor& labels);
+  void add(float score, float label);
+
+  double auc() const;
+  std::size_t count() const { return scores_.size(); }
+  void reset();
+
+ private:
+  std::vector<float> scores_;
+  std::vector<float> labels_;
+};
+
+}  // namespace fleda

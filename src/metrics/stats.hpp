@@ -1,0 +1,22 @@
+// Small statistics helpers used by evaluation and benches.
+#pragma once
+
+#include <vector>
+
+namespace fleda {
+
+struct SummaryStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+SummaryStats summarize(const std::vector<double>& values);
+
+// Pearson correlation of two equally sized series (0 on degenerate
+// input).
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace fleda

@@ -1,0 +1,38 @@
+// FLNet — the paper's federated-learning-customized routability model
+// (Table 1): two convolution layers with large 9x9 kernels, 64 hidden
+// filters, ReLU in between, no BatchNorm, no output activation. The
+// deliberately low parameter count and absence of normalization state
+// make it robust to the parameter averaging of decentralized training.
+#pragma once
+
+#include "models/model.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+
+namespace fleda {
+
+struct FLNetOptions {
+  std::int64_t in_channels = 6;
+  std::int64_t hidden_filters = 64;  // Table 1: 64
+  std::int64_t kernel = 9;           // Table 1: 9x9 for both layers
+};
+
+class FLNet : public RoutabilityModel {
+ public:
+  FLNet(const FLNetOptions& opts, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string describe() const override;
+  std::string model_name() const override { return "flnet"; }
+  std::int64_t in_channels() const override { return opts_.in_channels; }
+
+ private:
+  FLNetOptions opts_;
+  Conv2d input_conv_;
+  ReLU relu_;
+  Conv2d output_conv_;
+};
+
+}  // namespace fleda

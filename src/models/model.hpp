@@ -1,0 +1,29 @@
+// Common interface for routability estimators. A model maps an
+// [N, c, H, W] placement feature tensor to an [N, 1, H, W] hotspot
+// score map (raw scores; the paper's Eq. 1 regresses them onto the
+// binary DRC map with MSE, and ROC AUC is threshold-free).
+//
+// Models are Modules, so FL code can flatten parameters()/buffers()
+// uniformly. New instances with identical architecture are created
+// through the registry (models/registry.hpp); FL algorithms copy
+// parameter *values* between instances rather than cloning objects.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+class RoutabilityModel : public Module {
+ public:
+  // Stable identifier ("flnet", "routenet", "pros").
+  virtual std::string model_name() const = 0;
+
+  // Number of input feature channels the model was built for.
+  virtual std::int64_t in_channels() const = 0;
+};
+
+using RoutabilityModelPtr = std::unique_ptr<RoutabilityModel>;
+
+}  // namespace fleda

@@ -1,0 +1,41 @@
+// PROS (Chen et al., ICCAD'20) re-implementation — the second baseline
+// estimator. An encoder-decoder FCN with the advanced components the
+// paper attributes to it: stride-2 convolution encoder, dilated
+// convolution blocks (Yu & Koltun 2015) at reduced resolution,
+// sub-pixel (PixelShuffle) upsampling blocks, and refinement blocks;
+// BatchNorm after every convolution. Its depth, non-linearity, and
+// BatchNorm running statistics are what make it the most fragile of
+// the three models under federated aggregation (paper Table 5).
+#pragma once
+
+#include "models/model.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+struct PROSOptions {
+  std::int64_t in_channels = 6;
+  std::int64_t base_filters = 32;
+  // Dilation factors of the context aggregation blocks.
+  std::vector<std::int64_t> dilations = {1, 2, 4};
+};
+
+class PROS : public RoutabilityModel {
+ public:
+  PROS(const PROSOptions& opts, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedBuffer> buffers() override;
+  std::string describe() const override;
+  std::string model_name() const override { return "pros"; }
+  std::int64_t in_channels() const override { return opts_.in_channels; }
+
+ private:
+  PROSOptions opts_;
+  Sequential net_;
+};
+
+}  // namespace fleda

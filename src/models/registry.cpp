@@ -1,0 +1,58 @@
+#include "models/registry.hpp"
+
+#include <stdexcept>
+
+#include "models/flnet.hpp"
+#include "models/pros.hpp"
+#include "models/routenet.hpp"
+
+namespace fleda {
+
+ModelKind parse_model_kind(const std::string& name) {
+  if (name == "flnet") return ModelKind::kFLNet;
+  if (name == "routenet") return ModelKind::kRouteNet;
+  if (name == "pros") return ModelKind::kPROS;
+  throw std::invalid_argument("unknown model kind: " + name);
+}
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kFLNet:
+      return "flnet";
+    case ModelKind::kRouteNet:
+      return "routenet";
+    case ModelKind::kPROS:
+      return "pros";
+  }
+  return "?";
+}
+
+RoutabilityModelPtr make_model(ModelKind kind, std::int64_t in_channels,
+                               Rng& rng) {
+  switch (kind) {
+    case ModelKind::kFLNet: {
+      FLNetOptions o;
+      o.in_channels = in_channels;
+      return std::make_unique<FLNet>(o, rng);
+    }
+    case ModelKind::kRouteNet: {
+      RouteNetOptions o;
+      o.in_channels = in_channels;
+      return std::make_unique<RouteNet>(o, rng);
+    }
+    case ModelKind::kPROS: {
+      PROSOptions o;
+      o.in_channels = in_channels;
+      return std::make_unique<PROS>(o, rng);
+    }
+  }
+  throw std::logic_error("make_model: unreachable");
+}
+
+ModelFactory make_model_factory(ModelKind kind, std::int64_t in_channels) {
+  return [kind, in_channels](Rng& rng) {
+    return make_model(kind, in_channels, rng);
+  };
+}
+
+}  // namespace fleda

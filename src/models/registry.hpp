@@ -1,0 +1,34 @@
+// Model factory. FL algorithms need to create many architecturally
+// identical instances (one per client, per cluster, plus the global
+// model); they do so through a ModelFactory bound to a model kind and
+// input channel count.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "models/model.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+enum class ModelKind {
+  kFLNet,
+  kRouteNet,
+  kPROS,
+};
+
+// "flnet" | "routenet" | "pros"; throws std::invalid_argument otherwise.
+ModelKind parse_model_kind(const std::string& name);
+std::string to_string(ModelKind kind);
+
+// Creates a freshly initialized model of the given kind.
+RoutabilityModelPtr make_model(ModelKind kind, std::int64_t in_channels,
+                               Rng& rng);
+
+// A reusable factory closure; every call yields a new instance whose
+// initialization is drawn from the provided rng.
+using ModelFactory = std::function<RoutabilityModelPtr(Rng&)>;
+ModelFactory make_model_factory(ModelKind kind, std::int64_t in_channels);
+
+}  // namespace fleda

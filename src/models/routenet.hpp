@@ -1,0 +1,55 @@
+// RouteNet (Xie et al., ICCAD'18) re-implementation — the earlier of
+// the two baseline routability estimators the paper compares against.
+// A fully convolutional network with large-kernel convolutions, one
+// max-pool downsample, a transposed-convolution upsample, and an
+// additive shortcut from the first convolution block to the decoder
+// output (no BatchNorm). Considerably deeper and larger than FLNet,
+// which is exactly what makes it fragile under federated parameter
+// aggregation (paper Table 4).
+#pragma once
+
+#include "models/model.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/pooling.hpp"
+
+namespace fleda {
+
+struct RouteNetOptions {
+  std::int64_t in_channels = 6;
+  std::int64_t base_filters = 32;  // width of the shortcut path
+};
+
+class RouteNet : public RoutabilityModel {
+ public:
+  RouteNet(const RouteNetOptions& opts, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string describe() const override;
+  std::string model_name() const override { return "routenet"; }
+  std::int64_t in_channels() const override { return opts_.in_channels; }
+
+ private:
+  RouteNetOptions opts_;
+  // Encoder
+  Conv2d conv1_;  // c -> F, 9x9
+  ReLU relu1_;
+  Conv2d conv2_;  // F -> 2F, 7x7
+  ReLU relu2_;
+  MaxPool2d pool_;  // /2
+  // Bottleneck
+  Conv2d conv3_;  // 2F -> F, 9x9
+  ReLU relu3_;
+  Conv2d conv4_;  // F -> F, 7x7
+  ReLU relu4_;
+  // Decoder
+  ConvTranspose2d deconv_;  // F -> F, x2
+  ReLU relu5_;
+  // Head (after shortcut add with conv1 activation)
+  Conv2d output_conv_;  // F -> 1, 5x5
+};
+
+}  // namespace fleda

@@ -1,0 +1,149 @@
+#include "nn/batchnorm2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+BatchNorm2d::BatchNorm2d(std::string name, const BatchNorm2dOptions& opts)
+    : name_(std::move(name)),
+      opts_(opts),
+      gamma_(name_ + ".gamma", Shape::of(opts.num_features)),
+      beta_(name_ + ".beta", Shape::of(opts.num_features)),
+      running_mean_(Shape::of(opts.num_features)),
+      running_var_(Shape::of(opts.num_features), 1.0f) {
+  if (opts.num_features <= 0) {
+    throw std::invalid_argument("BatchNorm2d: bad num_features for " + name_);
+  }
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() != 4 ||
+      input.shape().dim(1) != opts_.num_features) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": bad input " +
+                                input.shape().to_string());
+  }
+  const std::int64_t N = input.shape().dim(0);
+  const std::int64_t C = opts_.num_features;
+  const std::int64_t HW = input.shape().dim(2) * input.shape().dim(3);
+  const std::int64_t count = N * HW;
+
+  cached_training_ = training;
+  cached_xhat_ = Tensor(input.shape());
+  cached_inv_std_ = Tensor(Shape::of(C));
+  Tensor output(input.shape());
+
+  for (std::int64_t c = 0; c < C; ++c) {
+    double m = 0.0, v = 0.0;
+    if (training) {
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* chan = input.data() + (n * C + c) * HW;
+        for (std::int64_t i = 0; i < HW; ++i) m += chan[i];
+      }
+      m /= static_cast<double>(count);
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* chan = input.data() + (n * C + c) * HW;
+        for (std::int64_t i = 0; i < HW; ++i) {
+          const double d = chan[i] - m;
+          v += d * d;
+        }
+      }
+      v /= static_cast<double>(count);  // biased, as in PyTorch normalization
+      running_mean_[c] = (1.0f - opts_.momentum) * running_mean_[c] +
+                         opts_.momentum * static_cast<float>(m);
+      // PyTorch stores the unbiased variance in the running buffer.
+      const double unbiased =
+          count > 1 ? v * static_cast<double>(count) / (count - 1) : v;
+      running_var_[c] = (1.0f - opts_.momentum) * running_var_[c] +
+                        opts_.momentum * static_cast<float>(unbiased);
+    } else {
+      m = running_mean_[c];
+      v = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(v) + opts_.eps);
+    cached_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* chan = input.data() + (n * C + c) * HW;
+      float* xh = cached_xhat_.data() + (n * C + c) * HW;
+      float* out = output.data() + (n * C + c) * HW;
+      for (std::int64_t i = 0; i < HW; ++i) {
+        const float x = (chan[i] - static_cast<float>(m)) * inv_std;
+        xh[i] = x;
+        out[i] = g * x + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("BatchNorm2d " + name_ +
+                           ": backward before forward");
+  }
+  if (grad_output.shape() != cached_xhat_.shape()) {
+    throw std::invalid_argument("BatchNorm2d " + name_ + ": bad grad shape");
+  }
+  const std::int64_t N = grad_output.shape().dim(0);
+  const std::int64_t C = opts_.num_features;
+  const std::int64_t HW = grad_output.shape().dim(2) * grad_output.shape().dim(3);
+  const std::int64_t count = N * HW;
+
+  Tensor grad_input(grad_output.shape());
+  for (std::int64_t c = 0; c < C; ++c) {
+    const float g = gamma_.value[c];
+    const float inv_std = cached_inv_std_[c];
+
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+      const float* dy = grad_output.data() + (n * C + c) * HW;
+      const float* xh = cached_xhat_.data() + (n * C + c) * HW;
+      for (std::int64_t i = 0; i < HW; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    if (cached_training_) {
+      const double inv_count = 1.0 / static_cast<double>(count);
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* dy = grad_output.data() + (n * C + c) * HW;
+        const float* xh = cached_xhat_.data() + (n * C + c) * HW;
+        float* dx = grad_input.data() + (n * C + c) * HW;
+        for (std::int64_t i = 0; i < HW; ++i) {
+          const double term = static_cast<double>(dy[i]) -
+                              inv_count * sum_dy -
+                              inv_count * sum_dy_xhat * xh[i];
+          dx[i] = static_cast<float>(g * inv_std * term);
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      for (std::int64_t n = 0; n < N; ++n) {
+        const float* dy = grad_output.data() + (n * C + c) * HW;
+        float* dx = grad_input.data() + (n * C + c) * HW;
+        for (std::int64_t i = 0; i < HW; ++i) dx[i] = g * inv_std * dy[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> BatchNorm2d::parameters() { return {&gamma_, &beta_}; }
+
+std::vector<NamedBuffer> BatchNorm2d::buffers() {
+  return {{name_ + ".running_mean", &running_mean_},
+          {name_ + ".running_var", &running_var_}};
+}
+
+std::string BatchNorm2d::describe() const {
+  return "BatchNorm2d(" + name_ + ", C=" + std::to_string(opts_.num_features) +
+         ")";
+}
+
+}  // namespace fleda

@@ -1,0 +1,49 @@
+// BatchNorm2d with running statistics.
+//
+// This layer is central to the paper's argument: PROS-style deep
+// models rely on BatchNorm for convergence, but under federated
+// parameter aggregation the running mean/variance buffers are averaged
+// across clients whose feature distributions differ, which destabilizes
+// inference-time normalization. The buffers are therefore exposed via
+// Module::buffers() and participate in FL aggregation exactly like the
+// PyTorch state_dict would.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+struct BatchNorm2dOptions {
+  std::int64_t num_features = 0;
+  float eps = 1e-5f;
+  float momentum = 0.1f;  // running = (1-m)*running + m*batch
+};
+
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::string name, const BatchNorm2dOptions& opts);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedBuffer> buffers() override;
+  std::string describe() const override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  BatchNorm2dOptions opts_;
+  Parameter gamma_;  // scale, init 1
+  Parameter beta_;   // shift, init 0
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // forward cache
+  bool cached_training_ = false;
+  Tensor cached_xhat_;     // normalized input
+  Tensor cached_inv_std_;  // per-channel 1/sqrt(var+eps)
+};
+
+}  // namespace fleda

@@ -1,0 +1,168 @@
+#include "nn/conv2d.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "util/scratch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+Conv2d::Conv2d(std::string name, const Conv2dOptions& opts, Rng& rng)
+    : name_(std::move(name)),
+      opts_(opts),
+      weight_(name_ + ".weight",
+              Shape::of(opts.out_channels,
+                        opts.in_channels * opts.kernel * opts.kernel)),
+      bias_(name_ + ".bias", Shape::of(opts.out_channels)) {
+  if (opts.in_channels <= 0 || opts.out_channels <= 0 || opts.kernel <= 0) {
+    throw std::invalid_argument("Conv2d: bad options for " + name_);
+  }
+  kaiming_uniform(weight_.value,
+                  /*fan_in=*/opts.in_channels * opts.kernel * opts.kernel, rng);
+  // bias stays zero-initialized
+}
+
+ConvGeometry Conv2d::geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g;
+  g.channels = opts_.in_channels;
+  g.height = h;
+  g.width = w;
+  g.kernel_h = g.kernel_w = opts_.kernel;
+  g.pad_h = g.pad_w = opts_.padding;
+  g.stride_h = g.stride_w = opts_.stride;
+  g.dilation_h = g.dilation_w = opts_.dilation;
+  return g;
+}
+
+std::pair<std::int64_t, std::int64_t> Conv2d::output_hw(std::int64_t h,
+                                                        std::int64_t w) const {
+  ConvGeometry g = geometry(h, w);
+  return {g.out_height(), g.out_width()};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  if (input.shape().rank() != 4 || input.shape().dim(1) != opts_.in_channels) {
+    throw std::invalid_argument("Conv2d " + name_ + ": bad input shape " +
+                                input.shape().to_string());
+  }
+  const std::int64_t N = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(2);
+  const std::int64_t W = input.shape().dim(3);
+  ConvGeometry g = geometry(H, W);
+  const std::int64_t OH = g.out_height();
+  const std::int64_t OW = g.out_width();
+  if (OH <= 0 || OW <= 0) {
+    throw std::invalid_argument("Conv2d " + name_ + ": non-positive output");
+  }
+
+  cached_input_ = input;
+  Tensor output(Shape::of(N, opts_.out_channels, OH, OW));
+
+  const std::int64_t in_stride = opts_.in_channels * H * W;
+  const std::int64_t out_stride = opts_.out_channels * OH * OW;
+  // Batch-parallel: output slices are disjoint, scratch is per-chunk.
+  // Under an outer parallel region this degrades to the serial loop.
+  parallel_for(static_cast<std::size_t>(N), [&](std::size_t nb,
+                                                std::size_t ne) {
+    float* cols = thread_scratch(
+        ScratchSlot::kCols,
+        static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    for (std::size_t n = nb; n < ne; ++n) {
+      im2col(input.data() + static_cast<std::int64_t>(n) * in_stride, g,
+             cols);
+      // y = W [Cout x rows] * cols [rows x OHW]
+      matmul(weight_.value.data(), cols,
+             output.data() + static_cast<std::int64_t>(n) * out_stride,
+             opts_.out_channels, g.col_rows(), g.col_cols());
+      if (opts_.bias) {
+        float* out = output.data() + static_cast<std::int64_t>(n) * out_stride;
+        for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
+          const float b = bias_.value[co];
+          float* chan = out + co * OH * OW;
+          for (std::int64_t i = 0; i < OH * OW; ++i) chan[i] += b;
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  if (input.empty()) {
+    throw std::logic_error("Conv2d " + name_ + ": backward before forward");
+  }
+  const std::int64_t N = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(2);
+  const std::int64_t W = input.shape().dim(3);
+  ConvGeometry g = geometry(H, W);
+  const std::int64_t OH = g.out_height();
+  const std::int64_t OW = g.out_width();
+  if (grad_output.shape() != Shape::of(N, opts_.out_channels, OH, OW)) {
+    throw std::invalid_argument("Conv2d " + name_ + ": bad grad shape " +
+                                grad_output.shape().to_string());
+  }
+
+  Tensor grad_input(input.shape());
+  const std::int64_t in_stride = opts_.in_channels * H * W;
+  const std::int64_t out_stride = opts_.out_channels * OH * OW;
+
+  // Batch-parallel with per-chunk gradient accumulators merged under a
+  // mutex (grad_input slices are disjoint, dW/db are shared).
+  std::mutex merge_mutex;
+  parallel_for(static_cast<std::size_t>(N), [&](std::size_t nb,
+                                                std::size_t ne) {
+    const std::size_t col_elems =
+        static_cast<std::size_t>(g.col_rows() * g.col_cols());
+    float* cols = thread_scratch(ScratchSlot::kCols, col_elems);
+    float* dcols = thread_scratch(ScratchSlot::kColsGrad, col_elems);
+    Tensor dw_local(weight_.grad.shape());
+    Tensor db_local(bias_.grad.shape());
+    for (std::size_t n = nb; n < ne; ++n) {
+      const float* dy =
+          grad_output.data() + static_cast<std::int64_t>(n) * out_stride;
+      // Recompute the column matrix (cheaper than caching per sample).
+      im2col(input.data() + static_cast<std::int64_t>(n) * in_stride, g,
+             cols);
+      // dW += dy [Cout x OHW] * cols^T
+      matmul_bt(dy, cols, dw_local.data(), opts_.out_channels,
+                g.col_cols(), g.col_rows(), /*accumulate=*/true);
+      // dcols = W^T [rows x Cout] * dy [Cout x OHW]
+      matmul_at(weight_.value.data(), dy, dcols, g.col_rows(),
+                opts_.out_channels, g.col_cols());
+      col2im(dcols, g,
+             grad_input.data() + static_cast<std::int64_t>(n) * in_stride);
+      if (opts_.bias) {
+        for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
+          const float* chan = dy + co * OH * OW;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < OH * OW; ++i) acc += chan[i];
+          db_local[co] += static_cast<float>(acc);
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    add_inplace(weight_.grad, dw_local);
+    if (opts_.bias) add_inplace(bias_.grad, db_local);
+  });
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (opts_.bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv2d::describe() const {
+  return "Conv2d(" + name_ + ", " + std::to_string(opts_.in_channels) + "->" +
+         std::to_string(opts_.out_channels) + ", k=" +
+         std::to_string(opts_.kernel) + ", s=" + std::to_string(opts_.stride) +
+         ", p=" + std::to_string(opts_.padding) + ", d=" +
+         std::to_string(opts_.dilation) + ")";
+}
+
+}  // namespace fleda

@@ -1,0 +1,39 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+void kaiming_uniform(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  if (fan_in <= 0) throw std::invalid_argument("kaiming_uniform: bad fan_in");
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  float* p = w.data();
+  const std::int64_t n = w.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng) {
+  if (fan_in <= 0 || fan_out <= 0) {
+    throw std::invalid_argument("xavier_uniform: bad fans");
+  }
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  float* p = w.data();
+  const std::int64_t n = w.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void normal_init(Tensor& w, float stddev, Rng& rng) {
+  float* p = w.data();
+  const std::int64_t n = w.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+}  // namespace fleda

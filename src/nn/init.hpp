@@ -1,0 +1,20 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+// He/Kaiming uniform: U(-b, b) with b = sqrt(6 / fan_in); the PyTorch
+// default for conv layers feeding ReLU.
+void kaiming_uniform(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+// Glorot/Xavier uniform: U(-b, b) with b = sqrt(6 / (fan_in+fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng);
+
+// N(0, stddev^2).
+void normal_init(Tensor& w, float stddev, Rng& rng);
+
+}  // namespace fleda

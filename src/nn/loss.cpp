@@ -1,0 +1,88 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+namespace {
+
+void check_shapes(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  if (a.numel() == 0) {
+    throw std::invalid_argument(std::string(op) + ": empty tensors");
+  }
+}
+
+}  // namespace
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  check_shapes(prediction, target, "mse_loss");
+  LossResult result;
+  result.grad = Tensor(prediction.shape());
+  const float* p = prediction.data();
+  const float* t = target.data();
+  float* g = result.grad.data();
+  const std::int64_t n = prediction.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = p[i] - t[i];
+    acc += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv_n;
+  }
+  result.value = static_cast<float>(acc * inv_n);
+  return result;
+}
+
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target) {
+  check_shapes(logits, target, "bce_with_logits_loss");
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const float* z = logits.data();
+  const float* t = target.data();
+  float* g = result.grad.data();
+  const std::int64_t n = logits.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // loss = max(z,0) - z*t + log(1 + exp(-|z|))
+    const float zi = z[i];
+    const float ti = t[i];
+    acc += (zi > 0.0f ? zi : 0.0f) - zi * ti +
+           std::log1p(std::exp(-std::fabs(zi)));
+    const float sig = 1.0f / (1.0f + std::exp(-zi));
+    g[i] = (sig - ti) * inv_n;
+  }
+  result.value = static_cast<float>(acc * inv_n);
+  return result;
+}
+
+LossResult weighted_mse_loss(const Tensor& prediction, const Tensor& target,
+                             float pos_weight) {
+  check_shapes(prediction, target, "weighted_mse_loss");
+  if (pos_weight <= 0.0f) {
+    throw std::invalid_argument("weighted_mse_loss: pos_weight must be > 0");
+  }
+  LossResult result;
+  result.grad = Tensor(prediction.shape());
+  const float* p = prediction.data();
+  const float* t = target.data();
+  float* g = result.grad.data();
+  const std::int64_t n = prediction.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float w = t[i] > 0.5f ? pos_weight : 1.0f;
+    const float d = p[i] - t[i];
+    acc += static_cast<double>(w) * d * d;
+    g[i] = 2.0f * w * d * inv_n;
+  }
+  result.value = static_cast<float>(acc * inv_n);
+  return result;
+}
+
+}  // namespace fleda

@@ -1,0 +1,29 @@
+// Training losses. The paper's local objective (Eq. 1) is a pixel MSE
+// between the raw network output and the binary hotspot map plus a
+// FedProx proximal term; the proximal term operates on parameter
+// vectors and lives in fl/client, so losses here are purely
+// prediction-vs-target.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+struct LossResult {
+  float value = 0.0f;  // scalar loss
+  Tensor grad;         // dL/d(prediction), same shape as prediction
+};
+
+// Mean squared error: L = mean((pred - target)^2).
+LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+// Binary cross-entropy on logits (numerically stable), mean-reduced.
+// Provided for completeness / ablations; the paper uses MSE.
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target);
+
+// Weighted MSE giving positive pixels `pos_weight` relative weight —
+// useful for the heavily imbalanced hotspot maps.
+LossResult weighted_mse_loss(const Tensor& prediction, const Tensor& target,
+                             float pos_weight);
+
+}  // namespace fleda

@@ -1,0 +1,5 @@
+#include "nn/module.hpp"
+
+// Module is header-only apart from anchoring the vtable here.
+
+namespace fleda {}  // namespace fleda

@@ -1,0 +1,84 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace fleda {
+
+SGD::SGD(std::vector<Parameter*> params, const SGDOptions& opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  if (opts_.momentum != 0.0) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    const std::int64_t n = p->value.numel();
+    const float lr = static_cast<float>(opts_.lr);
+    const float wd = static_cast<float>(opts_.weight_decay);
+    if (opts_.momentum == 0.0) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        w[j] -= lr * (g[j] + wd * w[j]);
+      }
+    } else {
+      const float mom = static_cast<float>(opts_.momentum);
+      float* v = velocity_[i].data();
+      for (std::int64_t j = 0; j < n; ++j) {
+        v[j] = mom * v[j] + g[j] + wd * w[j];
+        w[j] -= lr * v[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, const AdamOptions& opts)
+    : Optimizer(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::reset_state() {
+  for (auto& t : m_) t.fill(0.0f);
+  for (auto& t : v_) t.fill(0.0f);
+  t_ = 0;
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  const float lr = static_cast<float>(opts_.lr);
+  const float b1 = static_cast<float>(opts_.beta1);
+  const float b2 = static_cast<float>(opts_.beta2);
+  const float eps = static_cast<float>(opts_.eps);
+  const float wd = static_cast<float>(opts_.weight_decay);
+  const float inv_bc1 = static_cast<float>(1.0 / bc1);
+  const float inv_bc2 = static_cast<float>(1.0 / bc2);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const std::int64_t n = p->value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const float mhat = m[j] * inv_bc1;
+      const float vhat = v[j] * inv_bc2;
+      w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+}  // namespace fleda

@@ -1,0 +1,72 @@
+// First-order optimizers over a fixed set of Parameters. The paper
+// trains with Adam (lr 2e-4) and L2 regularization 1e-5; weight decay
+// here is classic L2 (added to the gradient), matching torch.optim.Adam's
+// `weight_decay` semantics.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+struct SGDOptions {
+  double lr = 1e-2;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, const SGDOptions& opts);
+  void step() override;
+
+ private:
+  SGDOptions opts_;
+  std::vector<Tensor> velocity_;
+};
+
+struct AdamOptions {
+  double lr = 2e-4;           // paper value
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 1e-5;  // paper's L2 strength
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, const AdamOptions& opts);
+  void step() override;
+
+  // Resets moment estimates and the step counter (used when a client
+  // receives fresh global parameters and restarts local optimization).
+  void reset_state();
+
+ private:
+  AdamOptions opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace fleda

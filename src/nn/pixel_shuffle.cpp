@@ -1,0 +1,82 @@
+#include "nn/pixel_shuffle.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+PixelShuffle::PixelShuffle(std::string name, std::int64_t upscale_factor)
+    : name_(std::move(name)), r_(upscale_factor) {
+  if (r_ <= 0) {
+    throw std::invalid_argument("PixelShuffle: bad factor for " + name_);
+  }
+}
+
+Tensor PixelShuffle::forward(const Tensor& input, bool /*training*/) {
+  if (input.shape().rank() != 4 || input.shape().dim(1) % (r_ * r_) != 0) {
+    throw std::invalid_argument("PixelShuffle " + name_ + ": bad input " +
+                                input.shape().to_string());
+  }
+  const std::int64_t N = input.shape().dim(0);
+  const std::int64_t C_in = input.shape().dim(1);
+  const std::int64_t H = input.shape().dim(2);
+  const std::int64_t W = input.shape().dim(3);
+  const std::int64_t C = C_in / (r_ * r_);
+
+  cached_input_shape_ = input.shape();
+  Tensor out(Shape::of(N, C, H * r_, W * r_));
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t dy = 0; dy < r_; ++dy) {
+        for (std::int64_t dx = 0; dx < r_; ++dx) {
+          const std::int64_t cin = c * r_ * r_ + dy * r_ + dx;
+          const float* src = input.data() + ((n * C_in + cin) * H) * W;
+          for (std::int64_t h = 0; h < H; ++h) {
+            for (std::int64_t w = 0; w < W; ++w) {
+              out.at(n, c, h * r_ + dy, w * r_ + dx) = src[h * W + w];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PixelShuffle::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() != 4) {
+    throw std::logic_error("PixelShuffle " + name_ +
+                           ": backward before forward");
+  }
+  const std::int64_t N = cached_input_shape_.dim(0);
+  const std::int64_t C_in = cached_input_shape_.dim(1);
+  const std::int64_t H = cached_input_shape_.dim(2);
+  const std::int64_t W = cached_input_shape_.dim(3);
+  const std::int64_t C = C_in / (r_ * r_);
+  if (grad_output.shape() != Shape::of(N, C, H * r_, W * r_)) {
+    throw std::invalid_argument("PixelShuffle " + name_ + ": bad grad shape");
+  }
+
+  Tensor grad_input(cached_input_shape_);
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t dy = 0; dy < r_; ++dy) {
+        for (std::int64_t dx = 0; dx < r_; ++dx) {
+          const std::int64_t cin = c * r_ * r_ + dy * r_ + dx;
+          float* dst = grad_input.data() + ((n * C_in + cin) * H) * W;
+          for (std::int64_t h = 0; h < H; ++h) {
+            for (std::int64_t w = 0; w < W; ++w) {
+              dst[h * W + w] = grad_output.at(n, c, h * r_ + dy, w * r_ + dx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string PixelShuffle::describe() const {
+  return "PixelShuffle(" + name_ + ", r=" + std::to_string(r_) + ")";
+}
+
+}  // namespace fleda

@@ -1,0 +1,26 @@
+// PixelShuffle (sub-pixel convolution upsampling, Shi et al. 2016),
+// the upsampling operator in PROS. Rearranges [N, C*r^2, H, W] into
+// [N, C, H*r, W*r]; backward is the inverse permutation.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+class PixelShuffle : public Module {
+ public:
+  PixelShuffle(std::string name, std::int64_t upscale_factor);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string describe() const override;
+
+  std::int64_t upscale_factor() const { return r_; }
+
+ private:
+  std::string name_;
+  std::int64_t r_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace fleda

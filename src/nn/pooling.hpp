@@ -1,0 +1,28 @@
+// MaxPool2d (square window) used by RouteNet's encoder.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+struct MaxPool2dOptions {
+  std::int64_t kernel = 2;
+  std::int64_t stride = 2;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::string name, const MaxPool2dOptions& opts);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string describe() const override;
+
+ private:
+  std::string name_;
+  MaxPool2dOptions opts_;
+  Shape cached_input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output elem
+};
+
+}  // namespace fleda

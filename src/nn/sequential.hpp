@@ -1,0 +1,41 @@
+// Sequential container chaining Modules; also usable as a sub-block
+// inside hand-wired model graphs (e.g. RouteNet's shortcut branches).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fleda {
+
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name = "seq") : name_(std::move(name)) {}
+
+  // Appends a layer; returns a reference for chaining.
+  Sequential& add(ModulePtr layer);
+
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<NamedBuffer> buffers() override;
+  std::string describe() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::string name_;
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace fleda

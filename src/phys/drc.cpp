@@ -1,0 +1,47 @@
+#include "phys/drc.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+Tensor drc_hotspot_map(const RoutingResult& routing, const DrcOptions& opts) {
+  const std::int64_t W = routing.grid_w;
+  const std::int64_t H = routing.grid_h;
+  Tensor ratio = routing.congestion_ratio();
+  Tensor hot(Shape::of(H, W));
+  for (std::int64_t i = 0; i < hot.numel(); ++i) {
+    hot[i] = ratio[i] > static_cast<float>(opts.threshold) ? 1.0f : 0.0f;
+  }
+  if (opts.dilation_support <= 0) return hot;
+
+  // One-step dilation: a cold cell with enough hot 8-neighbours joins.
+  Tensor out = hot;
+  for (std::int64_t gy = 0; gy < H; ++gy) {
+    for (std::int64_t gx = 0; gx < W; ++gx) {
+      if (hot.at(gy, gx) > 0.5f) continue;
+      int support = 0;
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const std::int64_t ny = gy + dy;
+          const std::int64_t nx = gx + dx;
+          if (ny < 0 || ny >= H || nx < 0 || nx >= W) continue;
+          if (hot.at(ny, nx) > 0.5f) ++support;
+        }
+      }
+      if (support >= opts.dilation_support) out.at(gy, gx) = 1.0f;
+    }
+  }
+  return out;
+}
+
+double hotspot_rate(const Tensor& label) {
+  if (label.numel() == 0) throw std::invalid_argument("hotspot_rate: empty");
+  double pos = 0.0;
+  for (std::int64_t i = 0; i < label.numel(); ++i) {
+    if (label[i] > 0.5f) pos += 1.0;
+  }
+  return pos / static_cast<double>(label.numel());
+}
+
+}  // namespace fleda

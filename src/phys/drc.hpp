@@ -1,0 +1,28 @@
+// DRC hotspot extraction from routing results. A gcell is a hotspot
+// when its worst-direction congestion ratio exceeds the technology
+// threshold; an optional one-step dilation absorbs the neighbouring
+// cells where congestion-driven shorts and spacing violations actually
+// land in detailed routing (hotspots cluster in practice).
+#pragma once
+
+#include "phys/global_router.hpp"
+#include "phys/technology.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+struct DrcOptions {
+  // Congestion ratio marking a violation (tech.drc_overflow_ratio).
+  double threshold = 1.05;
+  // Dilate hotspots by one gcell when a neighbourhood has >= this many
+  // hot cells (0 disables dilation).
+  int dilation_support = 2;
+};
+
+// Returns a binary [H, W] map (0/1) of DRC hotspots.
+Tensor drc_hotspot_map(const RoutingResult& routing, const DrcOptions& opts);
+
+// Fraction of hotspot gcells in a label map.
+double hotspot_rate(const Tensor& label);
+
+}  // namespace fleda

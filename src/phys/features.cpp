@@ -1,0 +1,53 @@
+#include "phys/features.hpp"
+
+#include <algorithm>
+
+#include "phys/rudy.hpp"
+
+namespace fleda {
+namespace {
+
+void write_channel(Tensor& features, std::int64_t channel, const Tensor& map,
+                   float scale) {
+  const std::int64_t H = features.shape().dim(1);
+  const std::int64_t W = features.shape().dim(2);
+  float* dst = features.data() + channel * H * W;
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < H * W; ++i) {
+    dst[i] = std::clamp(map[i] * inv, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+FeatureSample extract_features(const Placement& pl,
+                               const RoutingResult& routing,
+                               const Technology& tech,
+                               const DrcOptions& drc_opts) {
+  const std::int64_t H = pl.grid_h;
+  const std::int64_t W = pl.grid_w;
+  FeatureSample sample;
+  sample.features = Tensor(Shape::of(kNumFeatureChannels, H, W));
+
+  write_channel(sample.features, 0, cell_density_map(pl, tech.gcell_cell_capacity),
+                2.0f);
+  write_channel(sample.features, 1, blockage_map(pl), 1.0f);
+  write_channel(sample.features, 2, rudy_map(pl), kRudyScale);
+  write_channel(sample.features, 3, pin_density_map(pl), kPinScale);
+  write_channel(sample.features, 4, fly_line_map(pl), kFlyScale);
+
+  // Capacity channel: min-direction track capacity relative to the
+  // nominal (unblocked, unscaled) horizontal tracks.
+  Tensor cap(Shape::of(H, W));
+  const float nominal = static_cast<float>(tech.horizontal_tracks);
+  for (std::int64_t i = 0; i < cap.numel(); ++i) {
+    cap[i] = std::min(routing.capacity_h[i], routing.capacity_v[i]) / nominal;
+  }
+  write_channel(sample.features, 5, cap, 1.0f);
+
+  Tensor hotspots = drc_hotspot_map(routing, drc_opts);
+  sample.label = hotspots.reshaped(Shape::of(1, H, W));
+  return sample;
+}
+
+}  // namespace fleda

@@ -1,0 +1,38 @@
+// Feature extraction: assembles the model input tensor from the
+// placement-time heuristic maps (paper §4.4) and the ground-truth
+// hotspot label from the router. Channel order:
+//   0  cell density        (area / gcell capacity, clamp [0, 2]/2)
+//   1  macro / blockage mask
+//   2  RUDY wire density   (/ kRudyScale, clamped)
+//   3  pin density         (/ kPinScale, clamped)
+//   4  fly lines           (/ kFlyScale, clamped)
+//   5  routing capacity    (direction-min capacity / nominal tracks)
+// Scales are fixed constants rather than per-sample normalization so
+// that the *magnitude* differences between suites survive — they are
+// the heterogeneity the paper studies.
+#pragma once
+
+#include "phys/drc.hpp"
+#include "phys/global_router.hpp"
+#include "phys/placer.hpp"
+#include "phys/technology.hpp"
+
+namespace fleda {
+
+inline constexpr std::int64_t kNumFeatureChannels = 6;
+inline constexpr float kRudyScale = 4.0f;
+inline constexpr float kPinScale = 40.0f;
+inline constexpr float kFlyScale = 8.0f;
+
+struct FeatureSample {
+  Tensor features;  // [kNumFeatureChannels, H, W]
+  Tensor label;     // [1, H, W], binary
+};
+
+// Extracts model inputs + label for one placement/routing pair.
+FeatureSample extract_features(const Placement& placement,
+                               const RoutingResult& routing,
+                               const Technology& tech,
+                               const DrcOptions& drc_opts);
+
+}  // namespace fleda

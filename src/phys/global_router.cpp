@@ -1,0 +1,294 @@
+#include "phys/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+Tensor RoutingResult::overflow() const {
+  Tensor out(Shape::of(grid_h, grid_w));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float oh = std::max(0.0f, demand_h[i] - capacity_h[i]);
+    const float ov = std::max(0.0f, demand_v[i] - capacity_v[i]);
+    out[i] = oh + ov;
+  }
+  return out;
+}
+
+Tensor RoutingResult::congestion_ratio() const {
+  Tensor out(Shape::of(grid_h, grid_w));
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const float rh = capacity_h[i] > 1e-6f ? demand_h[i] / capacity_h[i] : 10.0f;
+    const float rv = capacity_v[i] > 1e-6f ? demand_v[i] / capacity_v[i] : 10.0f;
+    out[i] = std::max(rh, rv);
+  }
+  return out;
+}
+
+std::int64_t RoutingResult::overflowed_gcells() const {
+  Tensor of = overflow();
+  std::int64_t n = 0;
+  for (std::int64_t i = 0; i < of.numel(); ++i) {
+    if (of[i] > 0.0f) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// A two-pin connection between gcell coordinates.
+struct Connection {
+  std::int32_t x0, y0, x1, y1;
+};
+
+// A routed path is a list of (gcell index, horizontal?) steps.
+struct PathStep {
+  std::int32_t gx, gy;
+  bool horizontal;
+};
+
+class RouterState {
+ public:
+  RouterState(const Placement& pl, const RouterOptions& opts)
+      : W_(pl.grid_w),
+        H_(pl.grid_h),
+        opts_(opts),
+        demand_h_(Shape::of(H_, W_)),
+        demand_v_(Shape::of(H_, W_)),
+        capacity_h_(Shape::of(H_, W_)),
+        capacity_v_(Shape::of(H_, W_)) {
+    const double ch = opts.tech.horizontal_tracks * opts.capacity_scale;
+    const double cv = opts.tech.vertical_tracks * opts.capacity_scale;
+    const double blk = opts.tech.blockage_capacity_factor;
+    for (std::int64_t gy = 0; gy < H_; ++gy) {
+      for (std::int64_t gx = 0; gx < W_; ++gx) {
+        const bool blocked = pl.blocked(gx, gy);
+        capacity_h_.at(gy, gx) = static_cast<float>(blocked ? ch * blk : ch);
+        capacity_v_.at(gy, gx) = static_cast<float>(blocked ? cv * blk : cv);
+      }
+    }
+  }
+
+  // Congestion-aware cost of using one more track through a gcell.
+  double step_cost(std::int64_t gx, std::int64_t gy, bool horizontal) const {
+    const float demand =
+        horizontal ? demand_h_.at(gy, gx) : demand_v_.at(gy, gx);
+    const float cap =
+        horizontal ? capacity_h_.at(gy, gx) : capacity_v_.at(gy, gx);
+    const double ratio = (demand + 1.0) / std::max(1e-3f, cap);
+    // 1 per unit length, exponential pressure past ~80% utilization.
+    return 1.0 + (ratio > 0.8 ? std::exp(4.0 * (ratio - 0.8)) - 1.0 : 0.0);
+  }
+
+  double path_cost(const std::vector<PathStep>& path) const {
+    double c = 0.0;
+    for (const PathStep& s : path) c += step_cost(s.gx, s.gy, s.horizontal);
+    return c;
+  }
+
+  void commit(const std::vector<PathStep>& path, float sign) {
+    for (const PathStep& s : path) {
+      Tensor& d = s.horizontal ? demand_h_ : demand_v_;
+      d.at(s.gy, s.gx) += sign * static_cast<float>(opts_.tech.wire_unit_demand);
+    }
+  }
+
+  bool path_overflows(const std::vector<PathStep>& path) const {
+    for (const PathStep& s : path) {
+      const float d = s.horizontal ? demand_h_.at(s.gy, s.gx)
+                                   : demand_v_.at(s.gy, s.gx);
+      const float c = s.horizontal ? capacity_h_.at(s.gy, s.gx)
+                                   : capacity_v_.at(s.gy, s.gx);
+      if (d > c) return true;
+    }
+    return false;
+  }
+
+  void add_pin_demand(std::int64_t gx, std::int64_t gy, float weight) {
+    const float via = static_cast<float>(opts_.tech.pin_via_demand) * weight;
+    demand_h_.at(gy, gx) += via;
+    demand_v_.at(gy, gx) += via;
+  }
+
+  Tensor& demand_h() { return demand_h_; }
+  Tensor& demand_v() { return demand_v_; }
+  Tensor& capacity_h() { return capacity_h_; }
+  Tensor& capacity_v() { return capacity_v_; }
+
+ private:
+  std::int64_t W_, H_;
+  const RouterOptions& opts_;
+  Tensor demand_h_, demand_v_, capacity_h_, capacity_v_;
+};
+
+// Appends the horizontal run y=row, x in [xa..xb] (either order).
+void emit_h(std::vector<PathStep>& path, std::int32_t row, std::int32_t xa,
+            std::int32_t xb) {
+  const std::int32_t lo = std::min(xa, xb);
+  const std::int32_t hi = std::max(xa, xb);
+  for (std::int32_t x = lo; x <= hi; ++x) path.push_back({x, row, true});
+}
+
+// Appends the vertical run x=col, y in [ya..yb].
+void emit_v(std::vector<PathStep>& path, std::int32_t col, std::int32_t ya,
+            std::int32_t yb) {
+  const std::int32_t lo = std::min(ya, yb);
+  const std::int32_t hi = std::max(ya, yb);
+  for (std::int32_t y = lo; y <= hi; ++y) path.push_back({col, y, false});
+}
+
+// L-shape: horizontal first (via row y0) or vertical first (via col x0).
+std::vector<PathStep> l_shape(const Connection& c, bool horizontal_first) {
+  std::vector<PathStep> path;
+  if (horizontal_first) {
+    emit_h(path, c.y0, c.x0, c.x1);
+    if (c.y0 != c.y1) emit_v(path, c.x1, c.y0, c.y1);
+  } else {
+    emit_v(path, c.x0, c.y0, c.y1);
+    if (c.x0 != c.x1) emit_h(path, c.y1, c.x0, c.x1);
+  }
+  return path;
+}
+
+// Z-shape with a horizontal jog at row `ym` (x0->x0, bend) — pattern
+// V(x0: y0..ym), H(ym: x0..x1), V(x1: ym..y1).
+std::vector<PathStep> z_shape_hjog(const Connection& c, std::int32_t ym) {
+  std::vector<PathStep> path;
+  emit_v(path, c.x0, c.y0, ym);
+  emit_h(path, ym, c.x0, c.x1);
+  emit_v(path, c.x1, ym, c.y1);
+  return path;
+}
+
+// Z-shape with a vertical jog at column `xm`.
+std::vector<PathStep> z_shape_vjog(const Connection& c, std::int32_t xm) {
+  std::vector<PathStep> path;
+  emit_h(path, c.y0, c.x0, xm);
+  emit_v(path, xm, c.y0, c.y1);
+  emit_h(path, c.y1, xm, c.x1);
+  return path;
+}
+
+std::int32_t to_gcell(float v, std::int64_t limit) {
+  return static_cast<std::int32_t>(
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(v), 0, limit - 1));
+}
+
+}  // namespace
+
+RoutingResult route(const Placement& pl, const RouterOptions& opts, Rng& rng) {
+  if (!pl.netlist) throw std::invalid_argument("route: empty placement");
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  RouterState state(pl, opts);
+
+  // Pin via demand.
+  for (const Net& net : pl.netlist->nets) {
+    for (std::int32_t c : net.cells) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      state.add_pin_demand(to_gcell(pl.x[ci], W), to_gcell(pl.y[ci], H),
+                           pl.netlist->cells[ci].pin_weight);
+    }
+  }
+
+  // Star decomposition around the medoid pin of each net.
+  std::vector<Connection> connections;
+  for (const Net& net : pl.netlist->nets) {
+    double cx = 0.0, cy = 0.0;
+    for (std::int32_t c : net.cells) {
+      cx += pl.x[static_cast<std::size_t>(c)];
+      cy += pl.y[static_cast<std::size_t>(c)];
+    }
+    cx /= static_cast<double>(net.degree());
+    cy /= static_cast<double>(net.degree());
+    std::int32_t medoid = net.cells[0];
+    double best = 1e30;
+    for (std::int32_t c : net.cells) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const double d = std::fabs(pl.x[ci] - cx) + std::fabs(pl.y[ci] - cy);
+      if (d < best) {
+        best = d;
+        medoid = c;
+      }
+    }
+    const std::size_t mi = static_cast<std::size_t>(medoid);
+    const std::int32_t mx = to_gcell(pl.x[mi], W);
+    const std::int32_t my = to_gcell(pl.y[mi], H);
+    for (std::int32_t c : net.cells) {
+      if (c == medoid) continue;
+      const std::size_t ci = static_cast<std::size_t>(c);
+      connections.push_back(
+          {mx, my, to_gcell(pl.x[ci], W), to_gcell(pl.y[ci], H)});
+    }
+  }
+  rng.shuffle(connections);
+
+  // Pass 1: best L-shape per connection.
+  std::vector<std::vector<PathStep>> routed(connections.size());
+  for (std::size_t i = 0; i < connections.size(); ++i) {
+    auto a = l_shape(connections[i], /*horizontal_first=*/true);
+    auto b = l_shape(connections[i], /*horizontal_first=*/false);
+    auto& chosen = state.path_cost(a) <= state.path_cost(b) ? a : b;
+    state.commit(chosen, +1.0f);
+    routed[i] = std::move(chosen);
+  }
+
+  // Pass 2+: rip-up & reroute overflowed connections with Z-shapes.
+  for (int iter = 0; iter < opts.rrr_iterations; ++iter) {
+    std::int64_t rerouted = 0;
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      if (!state.path_overflows(routed[i])) continue;
+      const Connection& c = connections[i];
+      state.commit(routed[i], -1.0f);
+
+      std::vector<std::vector<PathStep>> candidates;
+      candidates.push_back(l_shape(c, true));
+      candidates.push_back(l_shape(c, false));
+      for (int z = 0; z < opts.z_candidates; ++z) {
+        if (c.y0 != c.y1) {
+          const std::int32_t ym = static_cast<std::int32_t>(
+              std::min(c.y0, c.y1) +
+              rng.uniform_int(static_cast<std::uint64_t>(
+                  std::abs(c.y1 - c.y0) + 1)));
+          candidates.push_back(z_shape_hjog(c, ym));
+        }
+        if (c.x0 != c.x1) {
+          const std::int32_t xm = static_cast<std::int32_t>(
+              std::min(c.x0, c.x1) +
+              rng.uniform_int(static_cast<std::uint64_t>(
+                  std::abs(c.x1 - c.x0) + 1)));
+          candidates.push_back(z_shape_vjog(c, xm));
+        }
+      }
+      std::size_t best_idx = 0;
+      double best_cost = 1e300;
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        const double cost = state.path_cost(candidates[k]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_idx = k;
+        }
+      }
+      state.commit(candidates[best_idx], +1.0f);
+      routed[i] = std::move(candidates[best_idx]);
+      ++rerouted;
+    }
+    if (rerouted == 0) break;
+  }
+
+  RoutingResult result;
+  result.grid_w = W;
+  result.grid_h = H;
+  result.demand_h = std::move(state.demand_h());
+  result.demand_v = std::move(state.demand_v());
+  result.capacity_h = std::move(state.capacity_h());
+  result.capacity_v = std::move(state.capacity_v());
+  result.num_connections = static_cast<std::int64_t>(connections.size());
+  double wl = 0.0;
+  for (const auto& path : routed) wl += static_cast<double>(path.size());
+  result.total_wirelength = wl;
+  return result;
+}
+
+}  // namespace fleda

@@ -1,0 +1,56 @@
+// Capacity-aware two-bend global router. This is the label oracle of
+// the dataset: its overflow map is what the paper obtains from Innovus
+// routing + DRC checking. Routing operates on the gcell grid with
+// directional capacities (reduced beneath macros) and proceeds in two
+// passes:
+//   1. initial pass — every two-pin connection (star decomposition of
+//      each net around its medoid pin) is routed with the cheaper of
+//      the two L-shapes under a congestion-aware edge cost;
+//   2. rip-up & reroute — connections crossing overflowed gcells are
+//      ripped up and rerouted considering Z-shapes (one extra bend)
+//      over several candidate bend positions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phys/placer.hpp"
+#include "phys/technology.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+struct RouterOptions {
+  Technology tech = default_technology();
+  // Multiplies directional track capacities (suite capacity_scale).
+  double capacity_scale = 1.0;
+  // Number of Z-shape bend candidates per direction in pass 2.
+  int z_candidates = 4;
+  // Rip-up & reroute iterations.
+  int rrr_iterations = 2;
+};
+
+struct RoutingResult {
+  std::int64_t grid_w = 0;
+  std::int64_t grid_h = 0;
+  Tensor demand_h;    // [H, W] horizontal track demand
+  Tensor demand_v;    // [H, W] vertical track demand
+  Tensor capacity_h;  // [H, W]
+  Tensor capacity_v;  // [H, W]
+  double total_wirelength = 0.0;
+  std::int64_t num_connections = 0;
+
+  // max(0, demand - capacity) summed over both directions, [H, W].
+  Tensor overflow() const;
+  // max(demand_h/capacity_h, demand_v/capacity_v), [H, W].
+  Tensor congestion_ratio() const;
+  std::int64_t overflowed_gcells() const;
+};
+
+// Routes all nets of the placement. Net ordering is randomized from
+// `rng` (a real router's ordering nondeterminism).
+RoutingResult route(const Placement& placement, const RouterOptions& opts,
+                    Rng& rng);
+
+}  // namespace fleda

@@ -1,0 +1,118 @@
+#include "phys/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+double Netlist::total_cell_area() const {
+  double a = 0.0;
+  for (const Cell& c : cells) a += c.area;
+  return a;
+}
+
+std::int64_t Netlist::num_pins() const {
+  std::int64_t p = 0;
+  for (const Net& n : nets) p += n.degree();
+  return p;
+}
+
+NetlistPtr generate_netlist(const NetlistGenParams& params, Rng& rng) {
+  const SuiteProfile& prof = params.profile;
+  if (params.grid_w <= 0 || params.grid_h <= 0 ||
+      params.gcell_cell_capacity <= 0.0) {
+    throw std::invalid_argument("generate_netlist: degenerate die");
+  }
+
+  auto netlist = std::make_shared<Netlist>();
+  netlist->name = params.name;
+  netlist->suite = prof.suite;
+
+  // --- macros ---
+  const int macro_count = static_cast<int>(
+      std::floor(prof.macro_count_mean + rng.uniform(0.0, 1.0)));
+  double macro_area_frac = 0.0;
+  for (int i = 0; i < macro_count; ++i) {
+    Macro m;
+    m.width_frac = static_cast<float>(
+        prof.macro_size_frac * rng.uniform(0.7, 1.4));
+    m.height_frac = static_cast<float>(
+        prof.macro_size_frac * rng.uniform(0.7, 1.4));
+    macro_area_frac += static_cast<double>(m.width_frac) * m.height_frac;
+    netlist->macros.push_back(m);
+  }
+  macro_area_frac = std::min(macro_area_frac, 0.5);
+
+  // --- standard cells ---
+  const double die_capacity = static_cast<double>(params.grid_w) *
+                              params.grid_h * params.gcell_cell_capacity;
+  const double util =
+      rng.uniform(prof.min_utilization, prof.max_utilization);
+  const double usable = die_capacity * (1.0 - macro_area_frac);
+  // Add cells until the target *area* utilization is reached (cells
+  // have a 1x/2x/4x drive-strength area mix, so count != area).
+  const double target_area = std::max(32.0, usable * util);
+  double placed_area = 0.0;
+  while (placed_area < target_area) {
+    Cell c;
+    const double r = rng.uniform();
+    c.area = r < 0.7 ? 1.0f : (r < 0.93 ? 2.0f : 4.0f);
+    c.pin_weight = static_cast<float>(
+        prof.pin_density_scale * (0.5 + rng.exponential(1.5)));
+    placed_area += c.area;
+    netlist->cells.push_back(c);
+  }
+  const std::int64_t num_cells = netlist->num_cells();
+
+  // --- nets ---
+  const std::int64_t num_nets = std::max<std::int64_t>(
+      8, static_cast<std::int64_t>(prof.nets_per_cell * num_cells));
+  netlist->nets.reserve(static_cast<std::size_t>(num_nets));
+
+  // Index-locality window: nets connect cells that are close in the
+  // logical ordering, with occasional global escapes.
+  const double window =
+      std::max(8.0, 0.02 * static_cast<double>(num_cells));
+  for (std::int64_t i = 0; i < num_nets; ++i) {
+    Net net;
+    const std::int64_t seed =
+        static_cast<std::int64_t>(rng.uniform_int(num_cells));
+    // Degree >= 2, geometric-ish around the suite mean.
+    std::int64_t degree =
+        2 + static_cast<std::int64_t>(rng.exponential(
+                1.0 / std::max(0.1, prof.mean_net_degree - 2.0)));
+    degree = std::min<std::int64_t>(degree, 24);
+    net.cells.push_back(static_cast<std::int32_t>(seed));
+    for (std::int64_t d = 1; d < degree; ++d) {
+      std::int64_t pick;
+      if (rng.bernoulli(prof.connectivity_locality)) {
+        // Global escape: uniform over the whole design.
+        pick = static_cast<std::int64_t>(rng.uniform_int(num_cells));
+      } else {
+        // Local member within the logical window, pin-weight biased by
+        // resampling once toward heavier cells.
+        const double off = rng.normal(0.0, window);
+        pick = seed + static_cast<std::int64_t>(std::lround(off));
+        pick = std::clamp<std::int64_t>(pick, 0, num_cells - 1);
+        const std::int64_t pick2 = std::clamp<std::int64_t>(
+            seed + static_cast<std::int64_t>(std::lround(
+                       rng.normal(0.0, window))),
+            0, num_cells - 1);
+        if (netlist->cells[static_cast<std::size_t>(pick2)].pin_weight >
+            netlist->cells[static_cast<std::size_t>(pick)].pin_weight) {
+          pick = pick2;
+        }
+      }
+      net.cells.push_back(static_cast<std::int32_t>(pick));
+    }
+    std::sort(net.cells.begin(), net.cells.end());
+    net.cells.erase(std::unique(net.cells.begin(), net.cells.end()),
+                    net.cells.end());
+    if (net.degree() >= 2) netlist->nets.push_back(std::move(net));
+  }
+
+  return netlist;
+}
+
+}  // namespace fleda

@@ -1,0 +1,74 @@
+// Synthetic netlist model and generator.
+//
+// A Netlist is a set of cells (standard cells and macros) connected by
+// multi-pin nets. Generation follows the structure of real synthesized
+// designs closely enough to drive the placement/routing substrate:
+//   - cell count derives from a target utilization of the die;
+//   - each cell gets a pin weight (heavier cells attract more nets);
+//   - net membership is drawn with *index locality*: cells are laid on
+//     a logical ordering (as netlist hierarchies are), and a net picks
+//     members within a geometric window around a seed cell, with a
+//     suite-dependent probability of escaping to a uniformly random
+//     cell. Low escape probability = local (Rent-low) connectivity;
+//     high = global. The placer preserves index locality spatially, so
+//     the escape probability directly controls wirelength structure.
+//   - macros are generated per the suite profile and handled by the
+//     placer as placement blockages / routing capacity reductions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phys/suite_profile.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+struct Cell {
+  float area = 1.0f;       // standard-cell area units
+  float pin_weight = 1.0f; // relative likelihood of net membership
+};
+
+struct Net {
+  std::vector<std::int32_t> cells;  // cell indices, deduplicated
+  std::int64_t degree() const { return static_cast<std::int64_t>(cells.size()); }
+};
+
+struct Macro {
+  // Linear dimensions as fractions of the die side (placed by Placer).
+  float width_frac = 0.1f;
+  float height_frac = 0.1f;
+};
+
+struct Netlist {
+  std::string name;
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+  std::vector<Cell> cells;
+  std::vector<Net> nets;
+  std::vector<Macro> macros;
+
+  std::int64_t num_cells() const { return static_cast<std::int64_t>(cells.size()); }
+  std::int64_t num_nets() const { return static_cast<std::int64_t>(nets.size()); }
+  double total_cell_area() const;
+  // Total pin count (sum of net degrees).
+  std::int64_t num_pins() const;
+};
+
+using NetlistPtr = std::shared_ptr<const Netlist>;
+
+struct NetlistGenParams {
+  SuiteProfile profile;
+  // Die size in gcells; cell count = utilization * capacity.
+  std::int64_t grid_w = 32;
+  std::int64_t grid_h = 32;
+  double gcell_cell_capacity = 16.0;
+  std::string name = "design";
+};
+
+// Generates a reproducible synthetic netlist. Throws on degenerate
+// parameters (zero-size grid, empty capacity).
+NetlistPtr generate_netlist(const NetlistGenParams& params, Rng& rng);
+
+}  // namespace fleda

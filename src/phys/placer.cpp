@@ -1,0 +1,233 @@
+#include "phys/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+
+double Placement::hpwl() const {
+  double total = 0.0;
+  for (const Net& net : netlist->nets) {
+    float min_x = 1e30f, max_x = -1e30f, min_y = 1e30f, max_y = -1e30f;
+    for (std::int32_t c : net.cells) {
+      min_x = std::min(min_x, x[static_cast<std::size_t>(c)]);
+      max_x = std::max(max_x, x[static_cast<std::size_t>(c)]);
+      min_y = std::min(min_y, y[static_cast<std::size_t>(c)]);
+      max_y = std::max(max_y, y[static_cast<std::size_t>(c)]);
+    }
+    total += static_cast<double>(max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+bool Placement::blocked(std::int64_t gx, std::int64_t gy) const {
+  for (const Rect& r : macro_rects) {
+    if (r.contains(gx, gy)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+std::vector<Rect> drop_macros(const Netlist& netlist, std::int64_t W,
+                              std::int64_t H, Rng& rng) {
+  std::vector<Rect> rects;
+  for (const Macro& m : netlist.macros) {
+    const std::int64_t mw = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::lround(m.width_frac * W)), 1, W - 1);
+    const std::int64_t mh = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::lround(m.height_frac * H)), 1, H - 1);
+    Rect best{};
+    bool placed = false;
+    for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+      Rect r;
+      r.x0 = static_cast<std::int32_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(W - mw + 1)));
+      r.y0 = static_cast<std::int32_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(H - mh + 1)));
+      r.x1 = r.x0 + static_cast<std::int32_t>(mw);
+      r.y1 = r.y0 + static_cast<std::int32_t>(mh);
+      bool clash = false;
+      for (const Rect& prev : rects) {
+        if (r.overlaps(prev)) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        best = r;
+        placed = true;
+      }
+    }
+    if (placed) rects.push_back(best);
+    // A macro that cannot be placed without overlap after 32 tries is
+    // dropped; real floorplans would legalize, we simply skip.
+  }
+  return rects;
+}
+
+}  // namespace
+
+Placement place(NetlistPtr netlist, const PlacerOptions& opts, Rng& rng) {
+  if (!netlist) throw std::invalid_argument("place: null netlist");
+  const std::int64_t W = opts.grid_w;
+  const std::int64_t H = opts.grid_h;
+  if (W <= 1 || H <= 1) throw std::invalid_argument("place: grid too small");
+  const std::int64_t num_cells = netlist->num_cells();
+
+  Placement pl;
+  pl.netlist = netlist;
+  pl.grid_w = W;
+  pl.grid_h = H;
+  pl.x.resize(static_cast<std::size_t>(num_cells));
+  pl.y.resize(static_cast<std::size_t>(num_cells));
+  pl.macro_rects = drop_macros(*netlist, W, H, rng);
+
+  // Per-gcell standard-cell capacity (near-zero under macros).
+  const double cap_free = opts.tech.gcell_cell_capacity;
+  std::vector<double> capacity(static_cast<std::size_t>(W * H));
+  for (std::int64_t gy = 0; gy < H; ++gy) {
+    for (std::int64_t gx = 0; gx < W; ++gx) {
+      capacity[static_cast<std::size_t>(gy * W + gx)] =
+          pl.blocked(gx, gy) ? 0.05 * cap_free : cap_free;
+    }
+  }
+
+  // --- initial placement: boustrophedon scan in logical order ---
+  // Build the snake order of gcells.
+  std::vector<std::int64_t> snake;
+  snake.reserve(static_cast<std::size_t>(W * H));
+  for (std::int64_t gy = 0; gy < H; ++gy) {
+    if (gy % 2 == 0) {
+      for (std::int64_t gx = 0; gx < W; ++gx) snake.push_back(gy * W + gx);
+    } else {
+      for (std::int64_t gx = W - 1; gx >= 0; --gx) snake.push_back(gy * W + gx);
+    }
+  }
+  double total_capacity = 0.0;
+  for (double c : capacity) total_capacity += c;
+  const double total_area = netlist->total_cell_area();
+  // Stream cells into gcells proportionally to capacity so the scan
+  // ends exactly at the last gcell.
+  std::vector<double> occupancy(capacity.size(), 0.0);
+  std::size_t scan = 0;
+  auto quota_of = [&](std::size_t s) {
+    // Proportional share of the total cell area, with 2% slack.
+    return capacity[static_cast<std::size_t>(snake[s])] / total_capacity *
+           total_area * 1.02;
+  };
+  // Cumulative quota with carry-over: unused fractional quota of one
+  // gcell flows to the next, so the stream always fits the die instead
+  // of wasting a remainder at every gcell boundary.
+  double cum_quota = quota_of(0);
+  double cum_placed = 0.0;
+  for (std::int64_t i = 0; i < num_cells; ++i) {
+    const double cell_area = netlist->cells[static_cast<std::size_t>(i)].area;
+    // Advance past blocked gcells and until the cumulative quota
+    // covers this cell.
+    while (scan + 1 < snake.size() &&
+           (capacity[static_cast<std::size_t>(snake[scan])] < 0.1 ||
+            cum_placed + cell_area > cum_quota)) {
+      ++scan;
+      cum_quota += quota_of(scan);
+    }
+    const std::int64_t g = snake[std::min(scan, snake.size() - 1)];
+    cum_placed += cell_area;
+    occupancy[static_cast<std::size_t>(g)] += cell_area;
+    const std::int64_t gx = g % W;
+    const std::int64_t gy = g / W;
+    pl.x[static_cast<std::size_t>(i)] =
+        static_cast<float>(gx + rng.uniform(0.05, 0.95));
+    pl.y[static_cast<std::size_t>(i)] =
+        static_cast<float>(gy + rng.uniform(0.05, 0.95));
+  }
+
+  // --- SA refinement on HPWL ---
+  // Incidence: cell -> nets.
+  std::vector<std::vector<std::int32_t>> cell_nets(
+      static_cast<std::size_t>(num_cells));
+  for (std::size_t ni = 0; ni < netlist->nets.size(); ++ni) {
+    for (std::int32_t c : netlist->nets[ni].cells) {
+      cell_nets[static_cast<std::size_t>(c)].push_back(
+          static_cast<std::int32_t>(ni));
+    }
+  }
+  auto net_hpwl = [&](std::size_t ni) {
+    const Net& net = netlist->nets[ni];
+    float min_x = 1e30f, max_x = -1e30f, min_y = 1e30f, max_y = -1e30f;
+    for (std::int32_t c : net.cells) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      min_x = std::min(min_x, pl.x[ci]);
+      max_x = std::max(max_x, pl.x[ci]);
+      min_y = std::min(min_y, pl.y[ci]);
+      max_y = std::max(max_y, pl.y[ci]);
+    }
+    return static_cast<double>(max_x - min_x) + (max_y - min_y);
+  };
+
+  const std::int64_t total_moves = static_cast<std::int64_t>(
+      opts.moves_per_cell * static_cast<double>(num_cells));
+  double temperature = opts.initial_temperature;
+  const std::int64_t cool_every = std::max<std::int64_t>(1, num_cells / 4);
+  const double occupancy_limit = cap_free * opts.occupancy_slack;
+
+  for (std::int64_t move = 0; move < total_moves; ++move) {
+    if (move % cool_every == 0) temperature *= opts.cooling;
+    const std::size_t ci =
+        static_cast<std::size_t>(rng.uniform_int(num_cells));
+    if (cell_nets[ci].empty()) continue;
+    const float old_x = pl.x[ci];
+    const float old_y = pl.y[ci];
+    // Displacement scale shrinks with temperature.
+    const double sigma = 1.0 + 4.0 * temperature;
+    float new_x = static_cast<float>(
+        std::clamp(old_x + rng.normal(0.0, sigma), 0.05,
+                   static_cast<double>(W) - 0.05));
+    float new_y = static_cast<float>(
+        std::clamp(old_y + rng.normal(0.0, sigma), 0.05,
+                   static_cast<double>(H) - 0.05));
+    const std::int64_t new_g =
+        static_cast<std::int64_t>(new_y) * W + static_cast<std::int64_t>(new_x);
+    const std::int64_t old_g =
+        static_cast<std::int64_t>(old_y) * W + static_cast<std::int64_t>(old_x);
+    const double cell_area = netlist->cells[ci].area;
+    if (new_g != old_g) {
+      const std::size_t ng = static_cast<std::size_t>(new_g);
+      if (occupancy[ng] + cell_area >
+              std::min(occupancy_limit, capacity[ng] * opts.occupancy_slack) ||
+          capacity[ng] < 0.1) {
+        continue;  // target gcell full or blocked
+      }
+    }
+
+    double before = 0.0;
+    for (std::int32_t ni : cell_nets[ci]) {
+      before += net_hpwl(static_cast<std::size_t>(ni));
+    }
+    pl.x[ci] = new_x;
+    pl.y[ci] = new_y;
+    double after = 0.0;
+    for (std::int32_t ni : cell_nets[ci]) {
+      after += net_hpwl(static_cast<std::size_t>(ni));
+    }
+    const double delta = after - before;
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 1e-9) {
+      accept = rng.uniform() < std::exp(-delta / temperature);
+    }
+    if (accept) {
+      if (new_g != old_g) {
+        occupancy[static_cast<std::size_t>(old_g)] -= cell_area;
+        occupancy[static_cast<std::size_t>(new_g)] += cell_area;
+      }
+    } else {
+      pl.x[ci] = old_x;
+      pl.y[ci] = old_y;
+    }
+  }
+
+  return pl;
+}
+
+}  // namespace fleda

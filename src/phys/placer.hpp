@@ -1,0 +1,71 @@
+// Grid placer: produces placement solutions for synthetic netlists on
+// a W x H gcell grid. This substitutes for Innovus placement in the
+// paper's data flow; multiple placement solutions per design are
+// obtained by varying the placer seed and effort, mirroring the
+// paper's "multiple placement solutions ... with different logic
+// synthesis and physical design settings".
+//
+// Algorithm:
+//   1. Macros are dropped with overlap avoidance; the area beneath
+//      them loses standard-cell capacity and most routing capacity.
+//   2. Standard cells are streamed in netlist (logical) order along a
+//      boustrophedon scan of the gcells, weighted by remaining gcell
+//      capacity. Because net membership is index-local, this seeds a
+//      placement with realistic wirelength locality.
+//   3. Simulated-annealing refinement: random cell displacement moves
+//      with Metropolis acceptance on the HPWL delta, subject to gcell
+//      occupancy limits. Temperature decays geometrically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phys/netlist.hpp"
+#include "phys/technology.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+// Gcell-aligned rectangle, half-open: [x0,x1) x [y0,y1).
+struct Rect {
+  std::int32_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(x1 - x0) * (y1 - y0);
+  }
+  bool contains(std::int64_t x, std::int64_t y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  bool overlaps(const Rect& other) const {
+    return x0 < other.x1 && other.x0 < x1 && y0 < other.y1 && other.y0 < y1;
+  }
+};
+
+struct Placement {
+  NetlistPtr netlist;
+  std::int64_t grid_w = 0;
+  std::int64_t grid_h = 0;
+  std::vector<float> x;  // per-cell, in [0, grid_w)
+  std::vector<float> y;  // per-cell, in [0, grid_h)
+  std::vector<Rect> macro_rects;
+
+  // Half-perimeter wirelength over all nets.
+  double hpwl() const;
+  // true if a gcell is covered by any macro.
+  bool blocked(std::int64_t gx, std::int64_t gy) const;
+};
+
+struct PlacerOptions {
+  std::int64_t grid_w = 32;
+  std::int64_t grid_h = 32;
+  // SA effort: proposed moves = moves_per_cell * num_cells.
+  double moves_per_cell = 3.0;
+  double initial_temperature = 2.0;
+  double cooling = 0.995;          // applied every num_cells/4 moves
+  double occupancy_slack = 1.25;   // gcell may fill to slack * capacity
+  Technology tech = default_technology();
+};
+
+// Places `netlist`; all randomness comes from `rng`.
+Placement place(NetlistPtr netlist, const PlacerOptions& opts, Rng& rng);
+
+}  // namespace fleda

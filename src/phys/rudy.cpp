@@ -1,0 +1,137 @@
+#include "phys/rudy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fleda {
+namespace {
+
+struct BBox {
+  float min_x, max_x, min_y, max_y;
+};
+
+BBox net_bbox(const Placement& pl, const Net& net) {
+  BBox b{1e30f, -1e30f, 1e30f, -1e30f};
+  for (std::int32_t c : net.cells) {
+    const std::size_t ci = static_cast<std::size_t>(c);
+    b.min_x = std::min(b.min_x, pl.x[ci]);
+    b.max_x = std::max(b.max_x, pl.x[ci]);
+    b.min_y = std::min(b.min_y, pl.y[ci]);
+    b.max_y = std::max(b.max_y, pl.y[ci]);
+  }
+  return b;
+}
+
+}  // namespace
+
+Tensor rudy_map(const Placement& pl) {
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  Tensor map(Shape::of(H, W));
+  for (const Net& net : pl.netlist->nets) {
+    BBox b = net_bbox(pl, net);
+    // Degenerate boxes still occupy at least half a gcell per side.
+    const float w = std::max(0.5f, b.max_x - b.min_x);
+    const float h = std::max(0.5f, b.max_y - b.min_y);
+    const float density = (w + h) / (w * h);
+    const std::int64_t gx0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(b.min_x), 0, W - 1);
+    const std::int64_t gx1 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(b.max_x), 0, W - 1);
+    const std::int64_t gy0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(b.min_y), 0, H - 1);
+    const std::int64_t gy1 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(b.max_y), 0, H - 1);
+    for (std::int64_t gy = gy0; gy <= gy1; ++gy) {
+      for (std::int64_t gx = gx0; gx <= gx1; ++gx) {
+        map.at(gy, gx) += density;
+      }
+    }
+  }
+  return map;
+}
+
+Tensor pin_density_map(const Placement& pl) {
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  Tensor map(Shape::of(H, W));
+  for (const Net& net : pl.netlist->nets) {
+    for (std::int32_t c : net.cells) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      const std::int64_t gx = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(pl.x[ci]), 0, W - 1);
+      const std::int64_t gy = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(pl.y[ci]), 0, H - 1);
+      map.at(gy, gx) += pl.netlist->cells[ci].pin_weight;
+    }
+  }
+  return map;
+}
+
+Tensor fly_line_map(const Placement& pl) {
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  Tensor map(Shape::of(H, W));
+  for (const Net& net : pl.netlist->nets) {
+    // Net centroid.
+    double cx = 0.0, cy = 0.0;
+    for (std::int32_t c : net.cells) {
+      cx += pl.x[static_cast<std::size_t>(c)];
+      cy += pl.y[static_cast<std::size_t>(c)];
+    }
+    cx /= static_cast<double>(net.degree());
+    cy /= static_cast<double>(net.degree());
+    // DDA rasterization pin -> centroid.
+    for (std::int32_t c : net.cells) {
+      const double px = pl.x[static_cast<std::size_t>(c)];
+      const double py = pl.y[static_cast<std::size_t>(c)];
+      const double dx = cx - px;
+      const double dy = cy - py;
+      const int steps =
+          1 + static_cast<int>(std::ceil(std::max(std::fabs(dx),
+                                                  std::fabs(dy))));
+      for (int s = 0; s <= steps; ++s) {
+        const double t = static_cast<double>(s) / steps;
+        const std::int64_t gx = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(px + t * dx), 0, W - 1);
+        const std::int64_t gy = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(py + t * dy), 0, H - 1);
+        map.at(gy, gx) += 1.0f / static_cast<float>(steps + 1);
+      }
+    }
+  }
+  return map;
+}
+
+Tensor cell_density_map(const Placement& pl, double gcell_capacity) {
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  Tensor map(Shape::of(H, W));
+  const auto& cells = pl.netlist->cells;
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    const std::int64_t gx = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(pl.x[ci]), 0, W - 1);
+    const std::int64_t gy = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(pl.y[ci]), 0, H - 1);
+    map.at(gy, gx) += cells[ci].area;
+  }
+  const float inv_cap = static_cast<float>(1.0 / gcell_capacity);
+  for (std::int64_t i = 0; i < map.numel(); ++i) map[i] *= inv_cap;
+  return map;
+}
+
+Tensor blockage_map(const Placement& pl) {
+  const std::int64_t W = pl.grid_w;
+  const std::int64_t H = pl.grid_h;
+  Tensor map(Shape::of(H, W));
+  for (const Rect& r : pl.macro_rects) {
+    for (std::int32_t gy = r.y0; gy < r.y1; ++gy) {
+      for (std::int32_t gx = r.x0; gx < r.x1; ++gx) {
+        map.at(gy, gx) = 1.0f;
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace fleda

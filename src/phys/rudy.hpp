@@ -1,0 +1,36 @@
+// Placement-time congestion heuristics: RUDY, pin density, fly lines,
+// and cell density. These are the input feature channels of all three
+// routability models (paper §4.4: "cell density features (e.g.
+// locations of cells) and wire density features ... RUDY and fly
+// lines"). They are computed from the placement only — the router's
+// actual demand is *not* visible to the models, it only produces the
+// ground-truth labels.
+#pragma once
+
+#include "phys/placer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+// RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes 2007):
+// each net spreads (w+h)/(w*h) wire density uniformly over its
+// bounding box. Returns an [H, W] map.
+Tensor rudy_map(const Placement& placement);
+
+// Pin-weighted pin density: each net pin deposits its cell's
+// pin_weight into the pin's gcell. Returns [H, W].
+Tensor pin_density_map(const Placement& placement);
+
+// Fly lines: straight-line rasterization from each pin to its net's
+// centroid, the classic pre-route congestion "rat's nest" view.
+// Returns [H, W].
+Tensor fly_line_map(const Placement& placement);
+
+// Standard-cell area per gcell, normalized by gcell capacity (1.0 =
+// nominally full). Returns [H, W].
+Tensor cell_density_map(const Placement& placement, double gcell_capacity);
+
+// Macro / routing blockage mask (1 inside a macro). Returns [H, W].
+Tensor blockage_map(const Placement& placement);
+
+}  // namespace fleda

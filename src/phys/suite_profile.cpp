@@ -1,0 +1,91 @@
+#include "phys/suite_profile.hpp"
+
+#include <stdexcept>
+
+namespace fleda {
+
+std::string to_string(BenchmarkSuite suite) {
+  switch (suite) {
+    case BenchmarkSuite::kIscas89:
+      return "ISCAS'89";
+    case BenchmarkSuite::kItc99:
+      return "ITC'99";
+    case BenchmarkSuite::kIwls05:
+      return "IWLS'05";
+    case BenchmarkSuite::kIspd15:
+      return "ISPD'15";
+  }
+  return "?";
+}
+
+BenchmarkSuite parse_suite(const std::string& name) {
+  if (name == "iscas89" || name == "ISCAS'89") return BenchmarkSuite::kIscas89;
+  if (name == "itc99" || name == "ITC'99") return BenchmarkSuite::kItc99;
+  if (name == "iwls05" || name == "IWLS'05") return BenchmarkSuite::kIwls05;
+  if (name == "ispd15" || name == "ISPD'15") return BenchmarkSuite::kIspd15;
+  throw std::invalid_argument("unknown benchmark suite: " + name);
+}
+
+SuiteProfile profile_for(BenchmarkSuite suite) {
+  SuiteProfile p;
+  p.suite = suite;
+  switch (suite) {
+    case BenchmarkSuite::kIscas89:
+      // Small scan-based sequential benchmarks: local connectivity,
+      // modest utilization, no macros, relaxed routing.
+      p.min_utilization = 0.35;
+      p.max_utilization = 0.60;
+      p.connectivity_locality = 0.08;
+      p.mean_net_degree = 3.0;
+      p.nets_per_cell = 1.15;
+      p.macro_count_mean = 0.0;
+      p.capacity_scale = 0.60;
+      p.pin_density_scale = 0.9;
+      p.aspect_spread = 0.10;
+      break;
+    case BenchmarkSuite::kItc99:
+      // RT-level designs: denser logic cones, moderately global nets.
+      p.min_utilization = 0.45;
+      p.max_utilization = 0.70;
+      p.connectivity_locality = 0.15;
+      p.mean_net_degree = 3.6;
+      p.nets_per_cell = 1.1;
+      p.macro_count_mean = 0.3;
+      p.macro_size_frac = 0.10;
+      p.capacity_scale = 0.85;
+      p.pin_density_scale = 1.0;
+      p.aspect_spread = 0.15;
+      break;
+    case BenchmarkSuite::kIwls05:
+      // Faraday + OpenCores IP: heterogeneous sizes, some memories,
+      // higher pin density.
+      p.min_utilization = 0.45;
+      p.max_utilization = 0.75;
+      p.connectivity_locality = 0.22;
+      p.mean_net_degree = 4.0;
+      p.nets_per_cell = 1.05;
+      p.macro_count_mean = 1.2;
+      p.macro_size_frac = 0.14;
+      p.capacity_scale = 1.10;
+      p.pin_density_scale = 1.15;
+      p.aspect_spread = 0.20;
+      break;
+    case BenchmarkSuite::kIspd15:
+      // Detailed-routing-driven placement benchmarks: big blockages,
+      // fence-like macros, tight capacity, global connectivity.
+      p.min_utilization = 0.55;
+      p.max_utilization = 0.80;
+      p.connectivity_locality = 0.30;
+      p.mean_net_degree = 4.2;
+      p.nets_per_cell = 1.0;
+      p.macro_count_mean = 3.0;
+      p.macro_size_frac = 0.18;
+      p.capacity_scale = 1.45;
+      p.pin_density_scale = 1.25;
+      p.aspect_spread = 0.25;
+      break;
+  }
+  return p;
+}
+
+}  // namespace fleda

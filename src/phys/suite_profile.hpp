@@ -1,0 +1,64 @@
+// Benchmark-suite generation profiles.
+//
+// The paper's central experimental device is client-level data
+// heterogeneity: each client holds designs from one benchmark suite
+// (ISCAS'89, ITC'99, IWLS'05, ISPD'15), and suites differ strongly in
+// size, connectivity, macro content, and routing pressure. These
+// profiles encode those differences for the synthetic netlist
+// generator so that the per-client feature distributions are non-IID
+// in the same qualitative way:
+//   - ISCAS'89: small, shallow sequential benchmarks; low Rent
+//     exponent, no macros, generous routing headroom.
+//   - ITC'99:   medium RT-level designs; moderate connectivity.
+//   - IWLS'05:  mixed Faraday/OpenCores IP; wider size spread, some
+//     small macros, denser pins.
+//   - ISPD'15:  large mixed-size designs with fence regions and big
+//     routing blockages; high utilization and tight capacity.
+#pragma once
+
+#include <string>
+
+namespace fleda {
+
+enum class BenchmarkSuite {
+  kIscas89,
+  kItc99,
+  kIwls05,
+  kIspd15,
+};
+
+std::string to_string(BenchmarkSuite suite);
+BenchmarkSuite parse_suite(const std::string& name);
+
+struct SuiteProfile {
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+
+  // Design size range in standard cells, scaled to the feature grid by
+  // the generator (relative to gcell capacity).
+  double min_utilization = 0.4;
+  double max_utilization = 0.7;
+
+  // Net connectivity: Rent-style locality (0 = fully local neighbours,
+  // 1 = uniformly global) and mean net degree (pins per net).
+  double connectivity_locality = 0.1;
+  double mean_net_degree = 3.5;
+  double nets_per_cell = 1.1;
+
+  // Macros: expected count and linear size as a fraction of die side.
+  double macro_count_mean = 0.0;
+  double macro_size_frac = 0.12;
+
+  // Routing resources relative to Technology defaults (<1 = tighter).
+  double capacity_scale = 1.0;
+
+  // Pin density multiplier (cells with more pins -> more via demand).
+  double pin_density_scale = 1.0;
+
+  // Die aspect ratio drawn from [1/(1+spread), 1+spread].
+  double aspect_spread = 0.15;
+};
+
+// Canonical profile for each suite (values discussed above).
+SuiteProfile profile_for(BenchmarkSuite suite);
+
+}  // namespace fleda

@@ -1,0 +1,7 @@
+#include "phys/technology.hpp"
+
+namespace fleda {
+
+Technology default_technology() { return Technology{}; }
+
+}  // namespace fleda

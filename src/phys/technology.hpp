@@ -1,0 +1,40 @@
+// Technology / routing-resource model. Numbers are calibrated to feel
+// like NanGate45 global routing at gcell granularity (the paper's
+// physical flow is Innovus + NanGate45): each gcell offers a number of
+// horizontal and vertical routing tracks; macros consume most of the
+// capacity beneath them; overflow beyond a threshold ratio marks a
+// DRC hotspot (the standard academic proxy for congestion-driven DRC
+// violations).
+#pragma once
+
+#include <cstdint>
+
+namespace fleda {
+
+struct Technology {
+  // Routing tracks available per gcell per direction. The 32x32 grid
+  // is coarse (one gcell covers many detailed-routing tracks across
+  // the metal stack), hence the large numbers.
+  double horizontal_tracks = 100.0;
+  double vertical_tracks = 65.0;
+
+  // Fraction of track capacity remaining inside a macro/blockage.
+  double blockage_capacity_factor = 0.2;
+
+  // demand/capacity ratio beyond which a gcell is a DRC hotspot.
+  double drc_overflow_ratio = 1.05;
+
+  // Standard-cell area units one gcell can hold at 100% utilization.
+  double gcell_cell_capacity = 8.0;
+
+  // Routing demand contributed by one net crossing a gcell edge.
+  double wire_unit_demand = 1.0;
+
+  // Local demand contributed by each pin (via/pin-access cost).
+  double pin_via_demand = 0.12;
+};
+
+// The default technology used everywhere unless overridden.
+Technology default_technology();
+
+}  // namespace fleda

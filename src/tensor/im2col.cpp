@@ -1,0 +1,66 @@
+#include "tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace fleda {
+
+void im2col(const float* image, const ConvGeometry& g, float* cols) {
+  const std::int64_t OH = g.out_height();
+  const std::int64_t OW = g.out_width();
+  const std::int64_t HW = g.height * g.width;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const float* chan = image + c * HW;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = cols + row * (OH * OW);
+        const std::int64_t ih0 = kh * g.dilation_h - g.pad_h;
+        const std::int64_t iw0 = kw * g.dilation_w - g.pad_w;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = ih0 + oh * g.stride_h;
+          float* dst = out_row + oh * OW;
+          if (ih < 0 || ih >= g.height) {
+            std::memset(dst, 0, sizeof(float) * OW);
+            continue;
+          }
+          const float* src = chan + ih * g.width;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = iw0 + ow * g.stride_w;
+            dst[ow] = (iw >= 0 && iw < g.width) ? src[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* image) {
+  const std::int64_t OH = g.out_height();
+  const std::int64_t OW = g.out_width();
+  const std::int64_t HW = g.height * g.width;
+
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    float* chan = image + c * HW;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = cols + row * (OH * OW);
+        const std::int64_t ih0 = kh * g.dilation_h - g.pad_h;
+        const std::int64_t iw0 = kw * g.dilation_w - g.pad_w;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = ih0 + oh * g.stride_h;
+          if (ih < 0 || ih >= g.height) continue;
+          const float* src = in_row + oh * OW;
+          float* dst = chan + ih * g.width;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = iw0 + ow * g.stride_w;
+            if (iw >= 0 && iw < g.width) dst[iw] += src[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fleda

@@ -1,0 +1,47 @@
+// im2col / col2im for strided, padded, dilated 2D convolution.
+//
+// im2col lowers a [C,H,W] image into a [C*kh*kw, OH*OW] column matrix
+// so convolution becomes a matmul with the [Cout, C*kh*kw] weight
+// matrix; col2im is its exact adjoint (scatter-add), used both for
+// conv backward-data and for ConvTranspose2d forward.
+#pragma once
+
+#include <cstdint>
+
+namespace fleda {
+
+struct ConvGeometry {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t dilation_h = 1;
+  std::int64_t dilation_w = 1;
+
+  std::int64_t out_height() const {
+    std::int64_t eff_k = dilation_h * (kernel_h - 1) + 1;
+    return (height + 2 * pad_h - eff_k) / stride_h + 1;
+  }
+  std::int64_t out_width() const {
+    std::int64_t eff_k = dilation_w * (kernel_w - 1) + 1;
+    return (width + 2 * pad_w - eff_k) / stride_w + 1;
+  }
+  std::int64_t col_rows() const { return channels * kernel_h * kernel_w; }
+  std::int64_t col_cols() const { return out_height() * out_width(); }
+};
+
+// image: [C,H,W] contiguous. cols: [col_rows, col_cols] contiguous,
+// fully overwritten (padding positions become 0).
+void im2col(const float* image, const ConvGeometry& g, float* cols);
+
+// Adjoint of im2col: scatter-adds cols back into image. The image
+// buffer must be zeroed by the caller if overwrite semantics are
+// desired.
+void col2im(const float* cols, const ConvGeometry& g, float* image);
+
+}  // namespace fleda

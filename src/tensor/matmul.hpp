@@ -1,0 +1,29 @@
+// Threaded dense matrix multiply kernels. Matrices are row-major
+// float buffers described by (rows, cols); these are the hot kernels
+// behind im2col-based convolution, so they avoid Tensor overhead and
+// work on raw pointers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+// C[m,n] = A[m,k] * B[k,n].  If accumulate is true, adds into C
+// instead of overwriting.
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// C[m,n] = A^T[m,k] * B[k,n] where A is stored as [k,m].
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// C[m,n] = A[m,k] * B^T[k,n] where B is stored as [n,k].
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// Tensor convenience wrapper: a is [m,k], b is [k,n], returns [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace fleda

@@ -1,0 +1,81 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fleda {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'T', '1'};
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic, 4);
+  std::uint32_t rank = static_cast<std::uint32_t>(t.shape().rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int i = 0; i < t.shape().rank(); ++i) {
+    std::int64_t d = t.shape().dim(i);
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("write_tensor: stream failure");
+}
+
+Tensor read_tensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("read_tensor: bad magic");
+  }
+  std::uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+    throw std::runtime_error("read_tensor: bad rank");
+  }
+  std::int64_t dims[Shape::kMaxRank] = {0, 0, 0, 0};
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    in.read(reinterpret_cast<char*>(&dims[i]), sizeof(std::int64_t));
+    if (!in || dims[i] < 0) throw std::runtime_error("read_tensor: bad dim");
+  }
+  Shape shape;
+  switch (rank) {
+    case 0:
+      shape = Shape{};
+      break;
+    case 1:
+      shape = Shape::of(dims[0]);
+      break;
+    case 2:
+      shape = Shape::of(dims[0], dims[1]);
+      break;
+    case 3:
+      shape = Shape::of(dims[0], dims[1], dims[2]);
+      break;
+    default:
+      shape = Shape::of(dims[0], dims[1], dims[2], dims[3]);
+      break;
+  }
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("read_tensor: truncated payload");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensor: cannot open " + path);
+  write_tensor(out, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensor: cannot open " + path);
+  return read_tensor(in);
+}
+
+}  // namespace fleda

@@ -1,0 +1,20 @@
+// Binary (de)serialization of tensors, used for model checkpoints and
+// cached datasets. Format: magic "FLT1", rank (u32), dims (i64 each),
+// then raw little-endian float32 payload.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace fleda {
+
+void write_tensor(std::ostream& out, const Tensor& t);
+Tensor read_tensor(std::istream& in);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+}  // namespace fleda

@@ -1,0 +1,62 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fleda {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (dims.size() > static_cast<std::size_t>(kMaxRank)) {
+    throw std::invalid_argument("Shape: rank > 4 not supported");
+  }
+  rank_ = static_cast<int>(dims.size());
+  int i = 0;
+  for (std::int64_t d : dims) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    dims_[i++] = d;
+  }
+}
+
+Shape Shape::of(std::int64_t d0) { return Shape{d0}; }
+Shape Shape::of(std::int64_t d0, std::int64_t d1) { return Shape{d0, d1}; }
+Shape Shape::of(std::int64_t d0, std::int64_t d1, std::int64_t d2) {
+  return Shape{d0, d1, d2};
+}
+Shape Shape::of(std::int64_t d0, std::int64_t d1, std::int64_t d2,
+                std::int64_t d3) {
+  return Shape{d0, d1, d2, d3};
+}
+
+std::int64_t Shape::dim(int axis) const {
+  if (axis < 0 || axis >= rank_) {
+    throw std::out_of_range("Shape::dim: axis out of range");
+  }
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (int i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (int i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < rank_; ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace fleda

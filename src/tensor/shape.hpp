@@ -1,0 +1,45 @@
+// Shape: the dimension vector of a Tensor (up to 4 axes, NCHW order
+// for images). Kept as a small fixed-capacity value type so shape
+// manipulation never allocates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace fleda {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  // Named constructors for the common ranks.
+  static Shape of(std::int64_t d0);
+  static Shape of(std::int64_t d0, std::int64_t d1);
+  static Shape of(std::int64_t d0, std::int64_t d1, std::int64_t d2);
+  static Shape of(std::int64_t d0, std::int64_t d1, std::int64_t d2,
+                  std::int64_t d3);
+
+  int rank() const { return rank_; }
+  std::int64_t dim(int axis) const;
+  std::int64_t operator[](int axis) const { return dim(axis); }
+
+  // Total element count (1 for rank-0).
+  std::int64_t numel() const;
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // "[2, 3, 32, 32]"
+  std::string to_string() const;
+
+ private:
+  int rank_ = 0;
+  std::array<std::int64_t, kMaxRank> dims_{};
+};
+
+}  // namespace fleda

@@ -1,0 +1,73 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fleda {
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0f) {}
+
+Tensor::Tensor(const Shape& shape, float value)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), value) {}
+
+Tensor::Tensor(const Shape& shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_.to_string());
+  }
+}
+
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  const std::int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+  return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  const std::int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+  return data_[static_cast<std::size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float& Tensor::at(std::int64_t h, std::int64_t w) {
+  return data_[static_cast<std::size_t>(h * shape_.dim(1) + w)];
+}
+
+float Tensor::at(std::int64_t h, std::int64_t w) const {
+  return data_[static_cast<std::size_t>(h * shape_.dim(1) + w)];
+}
+
+Tensor Tensor::reshaped(const Shape& new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(new_shape, data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+std::string Tensor::to_string(int max_elems) const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.to_string() << " {";
+  std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fleda

@@ -1,0 +1,71 @@
+// Tensor: a dense float32 array with value semantics (copy-on-copy,
+// move-aware) used throughout fleda for feature maps, model
+// parameters, and gradients. Layout is row-major; image tensors use
+// NCHW. This is deliberately a plain data container — all math lives
+// in free functions (tensor/ops.hpp, tensor/matmul.hpp) and the nn
+// layer implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace fleda {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(const Shape& shape);
+
+  // Allocates and fills with `value`.
+  Tensor(const Shape& shape, float value);
+
+  // Wraps existing data (copied). data.size() must equal shape.numel().
+  Tensor(const Shape& shape, std::vector<float> data);
+
+  static Tensor zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor full(const Shape& shape, float value) {
+    return Tensor(shape, value);
+  }
+  static Tensor ones(const Shape& shape) { return full(shape, 1.0f); }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // NCHW element accessors (rank-4) and HW accessors (rank-2); bounds
+  // are checked in debug builds via assert-style checks.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+  float& at(std::int64_t h, std::int64_t w);
+  float at(std::int64_t h, std::int64_t w) const;
+
+  // Reinterprets the buffer with a new shape of equal numel.
+  Tensor reshaped(const Shape& new_shape) const;
+
+  // Sets every element to `value`.
+  void fill(float value);
+
+  // Deep equality (exact float compare); mostly for tests.
+  bool equals(const Tensor& other) const;
+
+  std::string to_string(int max_elems = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fleda

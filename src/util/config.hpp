@@ -1,0 +1,43 @@
+// Run-scale configuration shared by benches and examples.
+//
+// The paper trains at full scale (7,131 placements, R=50 rounds,
+// S=100 steps). A CPU-only reproduction scales those knobs down; the
+// mapping is centralized here so every bench/example agrees, and is
+// selectable with the FLEDA_SCALE environment variable:
+//   FLEDA_SCALE=smoke  - seconds-long CI runs
+//   FLEDA_SCALE=quick  - default; minutes-long, preserves result shape
+//   FLEDA_SCALE=full   - closest to the paper that CPU allows
+#pragma once
+
+#include <string>
+
+namespace fleda {
+
+struct RunScale {
+  std::string name = "quick";
+  int grid = 32;              // feature map width/height (w = h)
+  int rounds = 10;            // FL rounds R (paper: 50)
+  int steps_per_round = 12;   // local update steps S (paper: 100)
+  int finetune_steps = 200;   // personalization steps S' (paper: 5000)
+  int batch_size = 8;
+  double placement_fraction = 0.12;  // fraction of Table 2 placement counts
+};
+
+// Resolves a scale by name ("smoke" | "quick" | "full"); unknown names
+// fall back to quick with a warning.
+RunScale resolve_scale(const std::string& name);
+
+// Reads FLEDA_SCALE (default "quick").
+RunScale scale_from_env();
+
+// Paper-verbatim training hyper-parameters (Section 5.1).
+struct PaperHyperParams {
+  double learning_rate = 2e-4;
+  double l2_regularization = 1e-5;
+  double fedprox_mu = 1e-4;
+  double alpha_portion = 0.5;
+  int num_clusters = 4;   // IFCA / assigned clustering C
+  int num_clients = 9;    // K
+};
+
+}  // namespace fleda

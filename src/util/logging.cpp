@@ -1,0 +1,86 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+namespace fleda {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel init_from_env() {
+  const char* env = std::getenv("FLEDA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  return parse_log_level(env);
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off" || name == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    LogLevel from_env = init_from_env();
+    g_level.store(static_cast<int>(from_env), std::memory_order_relaxed);
+    return from_env;
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+
+  // Strip directories from __FILE__ for compact output.
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  char head[160];
+  std::snprintf(head, sizeof(head), "[%s %s:%d] ", level_name(level), base,
+                line);
+
+  char out[1224];
+  int n = std::snprintf(out, sizeof(out), "%s%s\n", head, body);
+  if (n < 0) return;
+  std::fwrite(out, 1, static_cast<size_t>(n), stderr);
+}
+
+}  // namespace fleda

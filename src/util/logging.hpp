@@ -1,0 +1,49 @@
+// Lightweight leveled logging for fleda.
+//
+// Usage:
+//   FLEDA_LOG_INFO("round %d done, auc=%.3f", r, auc);
+//
+// The level is controlled globally (set_log_level) or via the
+// FLEDA_LOG_LEVEL environment variable ("debug", "info", "warn",
+// "error", "off"). Logging is thread-safe: each message is formatted
+// into a local buffer and written with a single fwrite.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace fleda {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets the global log level threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+
+// Returns the current global log level (initialized from
+// FLEDA_LOG_LEVEL on first use, defaulting to kInfo).
+LogLevel log_level();
+
+// Parses "debug" / "info" / "warn" / "error" / "off"; returns kInfo on
+// unknown input.
+LogLevel parse_log_level(const std::string& name);
+
+// Core logging entry point; prefer the FLEDA_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt,
+                 ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace fleda
+
+#define FLEDA_LOG_DEBUG(...) \
+  ::fleda::log_message(::fleda::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define FLEDA_LOG_INFO(...) \
+  ::fleda::log_message(::fleda::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define FLEDA_LOG_WARN(...) \
+  ::fleda::log_message(::fleda::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define FLEDA_LOG_ERROR(...) \
+  ::fleda::log_message(::fleda::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fleda {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  // xoshiro256++
+  std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Take the top 53 bits for a double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  // Lemire-style rejection-free-enough bounded draw; bias is
+  // negligible for the ranges used here, but reject to be exact.
+  std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  double u2 = uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = mag * std::sin(theta);
+  has_cached_normal_ = true;
+  return mag * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double lambda) {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0 || weights.empty()) {
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  std::uint64_t mix = next_u64() ^ (tag * 0xD1B54A32D192ED03ull);
+  return Rng(mix);
+}
+
+}  // namespace fleda

@@ -1,0 +1,12 @@
+#include "util/scratch.hpp"
+
+namespace fleda {
+
+float* thread_scratch(ScratchSlot slot, std::size_t n) {
+  thread_local std::vector<float> buffers[3];
+  auto& buf = buffers[static_cast<int>(slot)];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+}  // namespace fleda

@@ -1,0 +1,24 @@
+// Thread-local scratch buffers for kernel intermediates (im2col column
+// matrices and their gradients). Convolution layers need multi-MB
+// temporaries per call; allocating them fresh each step costs more in
+// page faults and zero-fill than the math itself. Buffers persist per
+// thread and per slot, growing monotonically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fleda {
+
+enum class ScratchSlot : int {
+  kCols = 0,
+  kColsGrad = 1,
+  kAux = 2,
+};
+
+// Returns a thread-local float buffer of at least `n` elements for the
+// given slot. Contents are unspecified — callers must fully overwrite
+// (or explicitly zero) what they read.
+float* thread_scratch(ScratchSlot slot, std::size_t n);
+
+}  // namespace fleda

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fleda {
+
+AsciiTable::AsciiTable(std::string title) : title_(std::move(title)) {}
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::size_t AsciiTable::num_cols() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  return cols;
+}
+
+std::string AsciiTable::to_string() const {
+  std::size_t cols = num_cols();
+  if (cols == 0) return title_.empty() ? "" : title_ + "\n";
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto hline = [&]() {
+    std::string s = "+";
+    for (std::size_t c = 0; c < cols; ++c) {
+      s += std::string(width[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << hline();
+  if (!header_.empty()) {
+    out << render_row(header_);
+    out << hline();
+  }
+  for (const auto& r : rows_) out << render_row(r);
+  out << hline();
+  return out.str();
+}
+
+void AsciiTable::print() const {
+  std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace fleda

@@ -1,0 +1,40 @@
+// ASCII table printer used by the benchmark harness to render the
+// paper's result tables (Tables 2-5) in the same row/column layout the
+// paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fleda {
+
+class AsciiTable {
+ public:
+  // Creates a table with the given title (printed above the grid).
+  explicit AsciiTable(std::string title = "");
+
+  // Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  // Appends a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles to `precision` decimals.
+  static std::string fmt(double value, int precision = 2);
+
+  // Renders the table with column-aligned cells and +-/| borders.
+  std::string to_string() const;
+
+  // Prints to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fleda

@@ -1,0 +1,135 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace fleda {
+namespace {
+
+// Set while a pool thread is executing a parallel_for chunk so nested
+// calls fall back to serial execution instead of deadlocking.
+thread_local bool t_inside_parallel_region = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("FLEDA_THREADS");
+  if (env != nullptr) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  std::size_t max_chunks = size() * 4;
+  std::size_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  if (chunks <= 1 || t_inside_parallel_region) {
+    body(0, n);
+    return;
+  }
+
+  // Shared context: queued helper tasks may start only after this call
+  // has already returned (work stolen by the caller), so everything
+  // they touch must be owned by shared_ptr, not the caller's stack.
+  struct Context {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    std::size_t chunk_size = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto ctx = std::make_shared<Context>();
+  ctx->n = n;
+  ctx->chunk_size = (n + chunks - 1) / chunks;
+  ctx->body = &body;  // only dereferenced while the caller is waiting
+
+  auto run_chunks = [ctx] {
+    bool prev = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    for (;;) {
+      std::size_t begin = ctx->next.fetch_add(ctx->chunk_size);
+      if (begin >= ctx->n) break;
+      std::size_t end = std::min(ctx->n, begin + ctx->chunk_size);
+      (*ctx->body)(begin, end);
+      std::size_t finished =
+          ctx->done.fetch_add(end - begin) + (end - begin);
+      if (finished == ctx->n) {
+        std::lock_guard<std::mutex> lock(ctx->done_mutex);
+        ctx->done_cv.notify_all();
+      }
+    }
+    t_inside_parallel_region = prev;
+  };
+
+  // Dispatch helpers to the pool, then participate from this thread so
+  // callers always make progress even if all workers are busy.
+  std::size_t helpers = std::min(chunks - 1, size());
+  for (std::size_t i = 0; i < helpers; ++i) submit(run_chunks);
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(ctx->done_mutex);
+  ctx->done_cv.wait(lock, [&] { return ctx->done.load() == n; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(env_thread_count());
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(n, body, grain);
+}
+
+}  // namespace fleda

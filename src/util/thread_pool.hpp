@@ -1,0 +1,62 @@
+// A small fixed-size thread pool plus a parallel_for helper used by the
+// tensor kernels (matmul, im2col-based convolution) and the data
+// generator. The pool is created lazily as a process-wide singleton so
+// library users never manage threads themselves.
+//
+// parallel_for(n, body) splits [0, n) into contiguous chunks and runs
+// `body(begin, end)` on pool threads, blocking until all chunks are
+// done. For tiny n the call degenerates to a serial loop to avoid
+// synchronization overhead. Nested parallel_for calls execute the
+// inner loop serially (the pool does not support re-entrancy), which
+// keeps kernels safe to compose.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fleda {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw.
+  void submit(std::function<void()> task);
+
+  // Runs body(begin, end) over chunks of [0, n). Blocks until complete.
+  // grain is the minimum chunk size worth dispatching to a thread.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  // The process-wide pool. Thread count comes from FLEDA_THREADS or
+  // hardware_concurrency (minimum 1 worker).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace fleda

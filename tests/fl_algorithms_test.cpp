@@ -1,0 +1,310 @@
+// Tests for the federated learning algorithms on a small synthetic
+// 3-client setup: round-loop semantics, aggregation correctness,
+// personalization invariants (LG local parts stay private, alpha-sync
+// produces per-client models, clustering keeps cluster models
+// separate), proximal-term behaviour, and baseline trainers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/alpha_sync.hpp"
+#include "fl/assigned_clustering.hpp"
+#include "fl/baselines.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/fedprox_lg.hpp"
+#include "fl/finetune.hpp"
+#include "fl/ifca.hpp"
+#include "tensor/ops.hpp"
+
+namespace fleda {
+namespace {
+
+// A tiny linearly-learnable client dataset: label = 1 where channel 0
+// exceeds a client-specific threshold (heterogeneity across clients).
+ClientDataset make_tiny_client(int id, float threshold, std::uint64_t seed,
+                               int train_samples = 6, int test_samples = 3) {
+  Rng rng(seed);
+  ClientDataset ds;
+  ds.client_id = id;
+  auto make_sample = [&]() {
+    Sample s;
+    s.features = Tensor(Shape{2, 8, 8});
+    s.label = Tensor(Shape{1, 8, 8});
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const float v = static_cast<float>(rng.uniform());
+      s.features[i] = v;
+      s.features[64 + i] = static_cast<float>(rng.uniform());
+      s.label[i] = v > threshold ? 1.0f : 0.0f;
+    }
+    return s;
+  };
+  for (int i = 0; i < train_samples; ++i) ds.train.push_back(make_sample());
+  for (int i = 0; i < test_samples; ++i) ds.test.push_back(make_sample());
+  return ds;
+}
+
+struct TinyWorld {
+  std::vector<ClientDataset> data;
+  std::vector<Client> clients;
+  ModelFactory factory;
+};
+
+TinyWorld make_world(std::uint64_t seed = 1) {
+  TinyWorld w;
+  w.data.push_back(make_tiny_client(1, 0.4f, seed + 1));
+  w.data.push_back(make_tiny_client(2, 0.5f, seed + 2));
+  w.data.push_back(make_tiny_client(3, 0.6f, seed + 3, /*train=*/9));
+  w.factory = make_model_factory(ModelKind::kFLNet, 2);
+  Rng rng(seed);
+  for (std::size_t k = 0; k < w.data.size(); ++k) {
+    w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.factory,
+                           rng.fork(k));
+  }
+  return w;
+}
+
+FLRunOptions tiny_options(int rounds = 2) {
+  FLRunOptions opts;
+  opts.rounds = rounds;
+  opts.client.steps = 3;
+  opts.client.batch_size = 2;
+  opts.client.learning_rate = 1e-3;
+  opts.client.mu = 1e-4;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(Client, LocalUpdateChangesParametersAndReportsLoss) {
+  TinyWorld w = make_world(11);
+  Rng rng(5);
+  RoutabilityModelPtr init = w.factory(rng);
+  ModelParameters start = ModelParameters::from_model(*init);
+  ModelParameters result = w.clients[0].local_update(start, tiny_options().client);
+  EXPECT_GT(start.squared_distance(result), 0.0);
+  EXPECT_GT(w.clients[0].last_train_loss(), 0.0f);
+}
+
+TEST(Client, LargeMuKeepsLocalModelNearAnchor) {
+  TinyWorld small = make_world(13);
+  TinyWorld big = make_world(13);
+  Rng rng(5);
+  RoutabilityModelPtr init = small.factory(rng);
+  ModelParameters start = ModelParameters::from_model(*init);
+
+  ClientTrainConfig weak = tiny_options().client;
+  weak.mu = 0.0;
+  ClientTrainConfig strong = weak;
+  strong.mu = 50.0;  // huge proximal pull
+  ModelParameters free_run = small.clients[0].local_update(start, weak);
+  ModelParameters anchored = big.clients[0].local_update(start, strong);
+  EXPECT_LT(start.squared_distance(anchored),
+            start.squared_distance(free_run));
+}
+
+TEST(Client, EvaluateTestAucInRange) {
+  TinyWorld w = make_world(17);
+  Rng rng(5);
+  RoutabilityModelPtr init = w.factory(rng);
+  double auc =
+      w.clients[1].evaluate_test_auc(ModelParameters::from_model(*init));
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(FedAvg, AllClientsReceiveSameFinalModel) {
+  TinyWorld w = make_world(19);
+  FedAvg algo;
+  std::vector<ModelParameters> finals =
+      algo.run(w.clients, w.factory, tiny_options());
+  ASSERT_EQ(finals.size(), 3u);
+  EXPECT_DOUBLE_EQ(finals[0].squared_distance(finals[1]), 0.0);
+  EXPECT_DOUBLE_EQ(finals[0].squared_distance(finals[2]), 0.0);
+}
+
+TEST(FedAvg, SingleClientEqualsItsOwnUpdate) {
+  // With K = 1 the aggregate is exactly the client's local update.
+  TinyWorld w = make_world(23);
+  std::vector<Client> one;
+  one.push_back(std::move(w.clients[0]));
+
+  FLRunOptions opts = tiny_options(/*rounds=*/1);
+  opts.client.mu = 0.0;
+  FedAvg algo;
+  std::vector<ModelParameters> finals = algo.run(one, w.factory, opts);
+
+  // Re-run the same local computation manually.
+  TinyWorld w2 = make_world(23);
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = w2.factory(rng);
+  ClientTrainConfig cfg = opts.client;
+  cfg.mu = 0.0;
+  ModelParameters manual =
+      w2.clients[0].local_update(ModelParameters::from_model(*init), cfg);
+  EXPECT_NEAR(finals[0].squared_distance(manual), 0.0, 1e-9);
+}
+
+TEST(FedProx, RoundCallbackFiresEachRound) {
+  TinyWorld w = make_world(29);
+  FLRunOptions opts = tiny_options(3);
+  int calls = 0;
+  opts.on_round = [&](int round, const std::vector<ModelParameters>& models) {
+    EXPECT_EQ(round, calls);
+    EXPECT_EQ(models.size(), 3u);
+    ++calls;
+  };
+  FedProx algo;
+  algo.run(w.clients, w.factory, opts);
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(algo.global_model().empty());
+}
+
+TEST(FedProx, DeterministicAcrossRuns) {
+  TinyWorld w1 = make_world(31);
+  TinyWorld w2 = make_world(31);
+  FedProx a1, a2;
+  std::vector<ModelParameters> f1 = a1.run(w1.clients, w1.factory, tiny_options());
+  std::vector<ModelParameters> f2 = a2.run(w2.clients, w2.factory, tiny_options());
+  EXPECT_NEAR(f1[0].squared_distance(f2[0]), 0.0, 1e-12);
+}
+
+TEST(FedProxLG, LocalPartsStayPrivate) {
+  TinyWorld w = make_world(37);
+  FedProxLG algo;
+  std::vector<ModelParameters> finals =
+      algo.run(w.clients, w.factory, tiny_options());
+  ASSERT_EQ(finals.size(), 3u);
+  // Global parts identical across clients, local parts different.
+  double global_diff = 0.0, local_diff = 0.0;
+  for (std::size_t e = 0; e < finals[0].entries().size(); ++e) {
+    const auto& e0 = finals[0].entries()[e];
+    const auto& e1 = finals[1].entries()[e];
+    const float d = max_abs_diff(e0.value, e1.value);
+    if (is_output_layer_param(e0.name)) {
+      local_diff += d;
+    } else {
+      global_diff += d;
+    }
+  }
+  EXPECT_DOUBLE_EQ(global_diff, 0.0);
+  EXPECT_GT(local_diff, 0.0);
+}
+
+TEST(IFCA, AssignsEveryClientAValidCluster) {
+  TinyWorld w = make_world(41);
+  IFCA algo(/*num_clusters=*/2, /*selection_batches=*/2);
+  std::vector<ModelParameters> finals =
+      algo.run(w.clients, w.factory, tiny_options());
+  ASSERT_EQ(finals.size(), 3u);
+  ASSERT_EQ(algo.final_assignment().size(), 3u);
+  for (int c : algo.final_assignment()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 2);
+  }
+  // Clients in the same cluster share a model.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      if (algo.final_assignment()[i] == algo.final_assignment()[j]) {
+        EXPECT_DOUBLE_EQ(finals[i].squared_distance(finals[j]), 0.0);
+      }
+    }
+  }
+  EXPECT_THROW(IFCA(0).run(w.clients, w.factory, tiny_options()),
+               std::invalid_argument);
+}
+
+TEST(AssignedClustering, ClusterMembersShareModelsOthersDiffer) {
+  TinyWorld w = make_world(43);
+  AssignedClustering algo({0, 0, 1});
+  std::vector<ModelParameters> finals =
+      algo.run(w.clients, w.factory, tiny_options());
+  EXPECT_DOUBLE_EQ(finals[0].squared_distance(finals[1]), 0.0);
+  EXPECT_GT(finals[0].squared_distance(finals[2]), 0.0);
+}
+
+TEST(AssignedClustering, PaperAssignmentShape) {
+  TinyWorld w = make_world(47);
+  AssignedClustering algo = AssignedClustering::paper_assignment();
+  // Paper assignment is for 9 clients; running on 3 must throw.
+  EXPECT_THROW(algo.run(w.clients, w.factory, tiny_options()),
+               std::invalid_argument);
+}
+
+TEST(AlphaPortionSync, ProducesPerClientModels) {
+  TinyWorld w = make_world(53);
+  AlphaPortionSync algo(0.5);
+  std::vector<ModelParameters> finals =
+      algo.run(w.clients, w.factory, tiny_options());
+  EXPECT_GT(finals[0].squared_distance(finals[1]), 0.0);
+  EXPECT_GT(finals[1].squared_distance(finals[2]), 0.0);
+}
+
+TEST(AlphaPortionSync, AlphaOneIsFullyLocalAfterAggregation) {
+  // alpha = 1: each client's deployed model is exactly its own update
+  // (no cross-client mixing).
+  TinyWorld wa = make_world(59);
+  AlphaPortionSync mix0(1.0);
+  FLRunOptions opts = tiny_options(1);
+  std::vector<ModelParameters> finals =
+      mix0.run(wa.clients, wa.factory, opts);
+
+  TinyWorld wb = make_world(59);
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = wb.factory(rng);
+  ModelParameters manual = wb.clients[0].local_update(
+      ModelParameters::from_model(*init), opts.client);
+  EXPECT_NEAR(finals[0].squared_distance(manual), 0.0, 1e-9);
+
+  EXPECT_THROW(AlphaPortionSync(1.5).run(wa.clients, wa.factory, opts),
+               std::invalid_argument);
+}
+
+TEST(FineTune, RunsBaseThenImprovesLocalFit) {
+  TinyWorld w = make_world(61);
+  FLRunOptions opts = tiny_options(2);
+  FineTune algo(std::make_unique<FedProx>(), /*finetune_steps=*/10);
+  EXPECT_EQ(algo.name(), "FedProx + Fine-tuning");
+  std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+  // Fine-tuned models are personalized (differ across clients).
+  EXPECT_GT(finals[0].squared_distance(finals[1]), 0.0);
+}
+
+TEST(Baselines, LocalModelsArePerClientAndDifferent) {
+  TinyWorld w = make_world(67);
+  BaselineOptions opts;
+  opts.total_steps = 6;
+  opts.client = tiny_options().client;
+  std::vector<ModelParameters> locals =
+      train_local_baselines(w.clients, w.factory, opts);
+  ASSERT_EQ(locals.size(), 3u);
+  EXPECT_GT(locals[0].squared_distance(locals[1]), 0.0);
+}
+
+TEST(Baselines, CentralizedTrainsOnPooledData) {
+  TinyWorld w = make_world(71);
+  BaselineOptions opts;
+  opts.total_steps = 6;
+  opts.client = tiny_options().client;
+  ModelParameters central = train_centralized(w.data, w.factory, opts);
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = w.factory(rng);
+  EXPECT_GT(ModelParameters::from_model(*init).squared_distance(central), 0.0);
+}
+
+TEST(TrainingEffectiveness, FedAvgLearnsTheSharedConcept) {
+  // With enough rounds, the aggregated model must beat a random model
+  // on every client (the shared threshold concept is learnable).
+  TinyWorld w = make_world(73);
+  FLRunOptions opts = tiny_options(6);
+  opts.client.steps = 8;
+  opts.client.learning_rate = 5e-3;
+  FedProx algo;
+  std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+  for (std::size_t k = 0; k < w.clients.size(); ++k) {
+    EXPECT_GT(w.clients[k].evaluate_test_auc(finals[k]), 0.75)
+        << "client " << k;
+  }
+}
+
+}  // namespace
+}  // namespace fleda

@@ -1,0 +1,211 @@
+// Tests for the heuristic feature maps (RUDY, pin density, fly lines,
+// cell density, blockage) and the assembled FeatureSample: shape and
+// range contracts, conservation properties, and the key learnability
+// property that RUDY correlates with actual routed demand while being
+// computed without the router.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "phys/features.hpp"
+#include "phys/global_router.hpp"
+#include "phys/netlist.hpp"
+#include "phys/placer.hpp"
+#include "phys/rudy.hpp"
+#include "tensor/ops.hpp"
+
+namespace fleda {
+namespace {
+
+struct World {
+  NetlistPtr netlist;
+  Placement placement;
+  RoutingResult routing;
+};
+
+World make_world(BenchmarkSuite suite, std::uint64_t seed) {
+  NetlistGenParams p;
+  p.profile = profile_for(suite);
+  p.grid_w = 32;
+  p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  Rng rng(seed);
+  World w;
+  w.netlist = generate_netlist(p, rng);
+  PlacerOptions popts;
+  popts.moves_per_cell = 1.0;
+  w.placement = place(w.netlist, popts, rng);
+  RouterOptions ropts;
+  ropts.capacity_scale = p.profile.capacity_scale;
+  w.routing = route(w.placement, ropts, rng);
+  return w;
+}
+
+TEST(Rudy, MapIsNonNegativeWithExpectedShape) {
+  World w = make_world(BenchmarkSuite::kItc99, 61);
+  Tensor rudy = rudy_map(w.placement);
+  EXPECT_EQ(rudy.shape(), (Shape{32, 32}));
+  for (std::int64_t i = 0; i < rudy.numel(); ++i) EXPECT_GE(rudy[i], 0.0f);
+  EXPECT_GT(max_value(rudy), 0.0f);
+}
+
+TEST(Rudy, SingleNetSpreadsOverBoundingBox) {
+  // Hand-built placement: one 2-pin net spanning a 4x2 box.
+  auto nl = std::make_shared<Netlist>();
+  nl->cells = {Cell{1.0f, 1.0f}, Cell{1.0f, 1.0f}};
+  nl->nets = {Net{{0, 1}}};
+  Placement pl;
+  pl.netlist = nl;
+  pl.grid_w = pl.grid_h = 8;
+  pl.x = {1.5f, 4.5f};
+  pl.y = {2.5f, 3.5f};
+  Tensor rudy = rudy_map(pl);
+  // Inside bbox: positive and constant; outside: zero.
+  const float inside = rudy.at(2, 2);
+  EXPECT_GT(inside, 0.0f);
+  EXPECT_FLOAT_EQ(rudy.at(3, 3), inside);
+  EXPECT_FLOAT_EQ(rudy.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(rudy.at(7, 7), 0.0f);
+  // Density formula (w+h)/(w*h) with w=3, h=1.
+  EXPECT_NEAR(inside, (3.0f + 1.0f) / 3.0f, 1e-4f);
+}
+
+TEST(PinDensity, TotalEqualsPinWeightSum) {
+  World w = make_world(BenchmarkSuite::kIscas89, 63);
+  Tensor pins = pin_density_map(w.placement);
+  double expected = 0.0;
+  for (const Net& net : w.netlist->nets) {
+    for (std::int32_t c : net.cells) {
+      expected += w.netlist->cells[static_cast<std::size_t>(c)].pin_weight;
+    }
+  }
+  EXPECT_NEAR(sum(pins), expected, expected * 1e-4);
+}
+
+TEST(FlyLines, EachPinContributesUnitMass) {
+  // Every pin->centroid segment deposits total weight ~1 (1/(steps+1)
+  // per visited gcell across steps+1 samples).
+  World w = make_world(BenchmarkSuite::kItc99, 65);
+  Tensor fly = fly_line_map(w.placement);
+  EXPECT_NEAR(sum(fly), static_cast<double>(w.netlist->num_pins()),
+              0.05 * static_cast<double>(w.netlist->num_pins()));
+}
+
+TEST(CellDensity, TotalMatchesCellArea) {
+  World w = make_world(BenchmarkSuite::kIwls05, 67);
+  Tensor density = cell_density_map(w.placement, 8.0);
+  EXPECT_NEAR(sum(density) * 8.0, w.netlist->total_cell_area(),
+              w.netlist->total_cell_area() * 1e-3);
+}
+
+TEST(BlockageMap, MatchesMacroRects) {
+  World w = make_world(BenchmarkSuite::kIspd15, 69);
+  Tensor blockage = blockage_map(w.placement);
+  std::int64_t area = 0;
+  for (const Rect& r : w.placement.macro_rects) area += r.area();
+  EXPECT_FLOAT_EQ(sum(blockage), static_cast<float>(area));
+}
+
+TEST(Features, ShapesAndRanges) {
+  World w = make_world(BenchmarkSuite::kItc99, 71);
+  DrcOptions dopts;
+  FeatureSample s = extract_features(w.placement, w.routing,
+                                     default_technology(), dopts);
+  EXPECT_EQ(s.features.shape(), (Shape{kNumFeatureChannels, 32, 32}));
+  EXPECT_EQ(s.label.shape(), (Shape{1, 32, 32}));
+  for (std::int64_t i = 0; i < s.features.numel(); ++i) {
+    EXPECT_GE(s.features[i], 0.0f);
+    EXPECT_LE(s.features[i], 1.0f);
+  }
+  for (std::int64_t i = 0; i < s.label.numel(); ++i) {
+    EXPECT_TRUE(s.label[i] == 0.0f || s.label[i] == 1.0f);
+  }
+}
+
+TEST(Features, ChannelsAreNotDegenerate) {
+  // Every channel except the blockage mask must vary spatially
+  // (otherwise the models learn nothing from it).
+  World w = make_world(BenchmarkSuite::kIspd15, 73);
+  DrcOptions dopts;
+  FeatureSample s = extract_features(w.placement, w.routing,
+                                     default_technology(), dopts);
+  const std::int64_t hw = 32 * 32;
+  for (std::int64_t c = 0; c < kNumFeatureChannels; ++c) {
+    if (c == 1) continue;  // blockage may be empty for some designs
+    double mn = 1e9, mx = -1e9;
+    for (std::int64_t i = 0; i < hw; ++i) {
+      mn = std::min(mn, static_cast<double>(s.features[c * hw + i]));
+      mx = std::max(mx, static_cast<double>(s.features[c * hw + i]));
+    }
+    EXPECT_GT(mx - mn, 1e-3) << "degenerate feature channel " << c;
+  }
+}
+
+TEST(Features, RudyCorrelatesWithRoutedDemand) {
+  // The learnability premise: the placement-time RUDY heuristic must
+  // correlate with the router's actual demand (but not perfectly — the
+  // gap is what the CNN learns to close).
+  World w = make_world(BenchmarkSuite::kItc99, 75);
+  Tensor rudy = rudy_map(w.placement);
+  std::vector<double> heuristic, actual;
+  for (std::int64_t i = 0; i < rudy.numel(); ++i) {
+    heuristic.push_back(rudy[i]);
+    actual.push_back(static_cast<double>(w.routing.demand_h[i]) +
+                     w.routing.demand_v[i]);
+  }
+  const double corr = pearson(heuristic, actual);
+  EXPECT_GT(corr, 0.5);
+  EXPECT_LT(corr, 0.999);
+}
+
+TEST(Features, LabelsVaryAcrossPlacementsOfSameDesign) {
+  // Different placement solutions of one netlist must give different
+  // hotspot maps (otherwise "multiple placements per design" is
+  // meaningless data augmentation).
+  NetlistGenParams p;
+  p.profile = profile_for(BenchmarkSuite::kItc99);
+  p.grid_w = p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  Rng rng(77);
+  NetlistPtr nl = generate_netlist(p, rng);
+  DrcOptions dopts;
+  RouterOptions ropts;
+  ropts.capacity_scale = p.profile.capacity_scale;
+
+  PlacerOptions popts;
+  popts.moves_per_cell = 1.0;
+  Rng r1(100), r2(200);
+  Placement pl1 = place(nl, popts, r1);
+  Placement pl2 = place(nl, popts, r2);
+  RoutingResult rr1 = route(pl1, ropts, r1);
+  RoutingResult rr2 = route(pl2, ropts, r2);
+  FeatureSample s1 = extract_features(pl1, rr1, default_technology(), dopts);
+  FeatureSample s2 = extract_features(pl2, rr2, default_technology(), dopts);
+  EXPECT_GT(max_abs_diff(s1.features, s2.features), 0.0f);
+}
+
+TEST(Features, CapacityChannelReflectsBlockage) {
+  World w = make_world(BenchmarkSuite::kIspd15, 79);
+  if (w.placement.macro_rects.empty()) GTEST_SKIP() << "no macros drawn";
+  DrcOptions dopts;
+  FeatureSample s = extract_features(w.placement, w.routing,
+                                     default_technology(), dopts);
+  const std::int64_t hw = 32 * 32;
+  const Rect& r = w.placement.macro_rects.front();
+  const std::int64_t inside = r.y0 * 32 + r.x0;
+  // Find any free gcell for comparison.
+  for (std::int64_t gy = 0; gy < 32; ++gy) {
+    for (std::int64_t gx = 0; gx < 32; ++gx) {
+      if (!w.placement.blocked(gx, gy)) {
+        EXPECT_LT(s.features[5 * hw + inside],
+                  s.features[5 * hw + gy * 32 + gx]);
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fleda

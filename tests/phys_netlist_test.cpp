@@ -1,0 +1,168 @@
+// Tests for suite profiles and synthetic netlist generation:
+// determinism, size/utilization contracts, net-degree statistics,
+// suite-dependent structure (macros, locality), and invariants every
+// netlist must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/netlist.hpp"
+#include "phys/suite_profile.hpp"
+
+namespace fleda {
+namespace {
+
+const BenchmarkSuite kAllSuites[] = {
+    BenchmarkSuite::kIscas89,
+    BenchmarkSuite::kItc99,
+    BenchmarkSuite::kIwls05,
+    BenchmarkSuite::kIspd15,
+};
+
+NetlistGenParams default_params(BenchmarkSuite suite) {
+  NetlistGenParams p;
+  p.profile = profile_for(suite);
+  p.grid_w = 32;
+  p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  return p;
+}
+
+TEST(SuiteProfile, ParseRoundTrip) {
+  for (BenchmarkSuite suite : kAllSuites) {
+    EXPECT_EQ(parse_suite(to_string(suite)), suite);
+  }
+  EXPECT_EQ(parse_suite("iscas89"), BenchmarkSuite::kIscas89);
+  EXPECT_THROW(parse_suite("mcnc"), std::invalid_argument);
+}
+
+TEST(SuiteProfile, ProfilesEncodeSuiteCharacter) {
+  const SuiteProfile iscas = profile_for(BenchmarkSuite::kIscas89);
+  const SuiteProfile ispd = profile_for(BenchmarkSuite::kIspd15);
+  // ISCAS'89: no macros, most local connectivity.
+  EXPECT_EQ(iscas.macro_count_mean, 0.0);
+  // ISPD'15: macro-heavy, most global connectivity, highest density.
+  EXPECT_GT(ispd.macro_count_mean, 1.0);
+  EXPECT_GT(ispd.connectivity_locality, iscas.connectivity_locality);
+  EXPECT_GT(ispd.min_utilization, iscas.min_utilization);
+}
+
+class NetlistPerSuite : public ::testing::TestWithParam<BenchmarkSuite> {};
+
+TEST_P(NetlistPerSuite, DeterministicForSameSeed) {
+  NetlistGenParams p = default_params(GetParam());
+  Rng rng1(99), rng2(99);
+  NetlistPtr a = generate_netlist(p, rng1);
+  NetlistPtr b = generate_netlist(p, rng2);
+  ASSERT_EQ(a->num_cells(), b->num_cells());
+  ASSERT_EQ(a->num_nets(), b->num_nets());
+  for (std::size_t i = 0; i < a->nets.size(); ++i) {
+    EXPECT_EQ(a->nets[i].cells, b->nets[i].cells);
+  }
+}
+
+TEST_P(NetlistPerSuite, CellCountMatchesUtilization) {
+  NetlistGenParams p = default_params(GetParam());
+  Rng rng(7);
+  NetlistPtr nl = generate_netlist(p, rng);
+  const double capacity = 32.0 * 32.0 * 8.0;
+  // Total cell area within the utilization envelope (+macro slack).
+  EXPECT_GT(nl->total_cell_area(),
+            0.5 * p.profile.min_utilization * capacity * 0.5);
+  EXPECT_LT(nl->total_cell_area(), p.profile.max_utilization * capacity * 1.4);
+}
+
+TEST_P(NetlistPerSuite, NetInvariants) {
+  NetlistGenParams p = default_params(GetParam());
+  Rng rng(11);
+  NetlistPtr nl = generate_netlist(p, rng);
+  ASSERT_GT(nl->num_nets(), 0);
+  for (const Net& net : nl->nets) {
+    // >= 2 distinct members, all valid cell indices, sorted unique.
+    EXPECT_GE(net.degree(), 2);
+    for (std::size_t i = 0; i < net.cells.size(); ++i) {
+      EXPECT_GE(net.cells[i], 0);
+      EXPECT_LT(net.cells[i], nl->num_cells());
+      if (i > 0) EXPECT_LT(net.cells[i - 1], net.cells[i]);
+    }
+  }
+}
+
+TEST_P(NetlistPerSuite, MeanDegreeNearProfile) {
+  NetlistGenParams p = default_params(GetParam());
+  Rng rng(13);
+  NetlistPtr nl = generate_netlist(p, rng);
+  const double mean_degree = static_cast<double>(nl->num_pins()) /
+                             static_cast<double>(nl->num_nets());
+  // Degree shrinks slightly from dedup; allow a generous band.
+  EXPECT_GT(mean_degree, 2.0);
+  EXPECT_LT(mean_degree, p.profile.mean_net_degree + 2.0);
+}
+
+TEST_P(NetlistPerSuite, CellAreasAreDriveStrengthMix) {
+  NetlistGenParams p = default_params(GetParam());
+  Rng rng(17);
+  NetlistPtr nl = generate_netlist(p, rng);
+  for (const Cell& c : nl->cells) {
+    EXPECT_TRUE(c.area == 1.0f || c.area == 2.0f || c.area == 4.0f);
+    EXPECT_GT(c.pin_weight, 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suites, NetlistPerSuite,
+                         ::testing::ValuesIn(kAllSuites),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BenchmarkSuite::kIscas89:
+                               return std::string("iscas89");
+                             case BenchmarkSuite::kItc99:
+                               return std::string("itc99");
+                             case BenchmarkSuite::kIwls05:
+                               return std::string("iwls05");
+                             case BenchmarkSuite::kIspd15:
+                               return std::string("ispd15");
+                           }
+                           return std::string("unknown");
+                         });
+
+TEST(Netlist, IspdHasMacrosIscasDoesNot) {
+  Rng rng(23);
+  NetlistGenParams ispd = default_params(BenchmarkSuite::kIspd15);
+  NetlistGenParams iscas = default_params(BenchmarkSuite::kIscas89);
+  int ispd_macros = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    ispd_macros += static_cast<int>(generate_netlist(ispd, rng)->macros.size());
+    EXPECT_TRUE(generate_netlist(iscas, rng)->macros.empty());
+  }
+  EXPECT_GT(ispd_macros, 8);  // ~3 per design on average
+}
+
+TEST(Netlist, LocalityDiffersAcrossSuites) {
+  // Index-distance of net members should be larger for the globally
+  // connected ISPD'15 profile than for ISCAS'89.
+  Rng rng(29);
+  auto mean_span = [&](BenchmarkSuite suite) {
+    NetlistPtr nl = generate_netlist(default_params(suite), rng);
+    double total = 0.0;
+    for (const Net& net : nl->nets) {
+      total += static_cast<double>(net.cells.back() - net.cells.front()) /
+               static_cast<double>(nl->num_cells());
+    }
+    return total / static_cast<double>(nl->num_nets());
+  };
+  EXPECT_GT(mean_span(BenchmarkSuite::kIspd15),
+            1.5 * mean_span(BenchmarkSuite::kIscas89));
+}
+
+TEST(Netlist, DegenerateParamsThrow) {
+  NetlistGenParams p = default_params(BenchmarkSuite::kItc99);
+  p.grid_w = 0;
+  Rng rng(1);
+  EXPECT_THROW(generate_netlist(p, rng), std::invalid_argument);
+  p = default_params(BenchmarkSuite::kItc99);
+  p.gcell_cell_capacity = 0.0;
+  EXPECT_THROW(generate_netlist(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleda

@@ -1,0 +1,190 @@
+// Tests for the grid placer: legality (bounds, blockage avoidance,
+// occupancy), determinism, HPWL improvement by annealing, seed
+// diversity of placement solutions, and locality of the result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/netlist.hpp"
+#include "phys/placer.hpp"
+
+namespace fleda {
+namespace {
+
+NetlistPtr make_netlist(BenchmarkSuite suite, std::uint64_t seed,
+                        std::int64_t grid = 32) {
+  NetlistGenParams p;
+  p.profile = profile_for(suite);
+  p.grid_w = grid;
+  p.grid_h = grid;
+  p.gcell_cell_capacity = 8.0;
+  Rng rng(seed);
+  return generate_netlist(p, rng);
+}
+
+Placement make_placement(NetlistPtr nl, std::uint64_t seed,
+                         double moves_per_cell = 2.0) {
+  PlacerOptions opts;
+  opts.moves_per_cell = moves_per_cell;
+  Rng rng(seed);
+  return place(nl, opts, rng);
+}
+
+TEST(Placer, AllCellsInsideDie) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kItc99, 1);
+  Placement pl = make_placement(nl, 2);
+  ASSERT_EQ(pl.x.size(), static_cast<std::size_t>(nl->num_cells()));
+  for (std::size_t i = 0; i < pl.x.size(); ++i) {
+    EXPECT_GE(pl.x[i], 0.0f);
+    EXPECT_LT(pl.x[i], 32.0f);
+    EXPECT_GE(pl.y[i], 0.0f);
+    EXPECT_LT(pl.y[i], 32.0f);
+  }
+}
+
+TEST(Placer, DeterministicForSameSeed) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIscas89, 3);
+  Placement a = make_placement(nl, 4);
+  Placement b = make_placement(nl, 4);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Placer, DifferentSeedsGiveDifferentSolutions) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIscas89, 5);
+  Placement a = make_placement(nl, 10);
+  Placement b = make_placement(nl, 11);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    moved += std::fabs(a.x[i] - b.x[i]) + std::fabs(a.y[i] - b.y[i]);
+  }
+  EXPECT_GT(moved / static_cast<double>(a.x.size()), 0.05);
+}
+
+TEST(Placer, AnnealingImprovesHpwlOverRandomPlacement) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kItc99, 7);
+  // Reference: random scatter.
+  Placement scatter;
+  scatter.netlist = nl;
+  scatter.grid_w = scatter.grid_h = 32;
+  Rng rng(8);
+  scatter.x.resize(static_cast<std::size_t>(nl->num_cells()));
+  scatter.y.resize(scatter.x.size());
+  for (std::size_t i = 0; i < scatter.x.size(); ++i) {
+    scatter.x[i] = static_cast<float>(rng.uniform(0.0, 32.0));
+    scatter.y[i] = static_cast<float>(rng.uniform(0.0, 32.0));
+  }
+  Placement placed = make_placement(nl, 9, /*moves_per_cell=*/3.0);
+  EXPECT_LT(placed.hpwl(), 0.6 * scatter.hpwl());
+}
+
+TEST(Placer, MoreEffortDoesNotHurtHpwl) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIscas89, 13);
+  Placement low = make_placement(nl, 14, 0.5);
+  Placement high = make_placement(nl, 14, 6.0);
+  EXPECT_LE(high.hpwl(), low.hpwl() * 1.05);
+}
+
+TEST(Placer, MacrosStayDisjointAndInBounds) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIspd15, 15);
+  Placement pl = make_placement(nl, 16);
+  for (std::size_t i = 0; i < pl.macro_rects.size(); ++i) {
+    const Rect& r = pl.macro_rects[i];
+    EXPECT_GE(r.x0, 0);
+    EXPECT_GE(r.y0, 0);
+    EXPECT_LE(r.x1, 32);
+    EXPECT_LE(r.y1, 32);
+    EXPECT_GT(r.area(), 0);
+    for (std::size_t j = i + 1; j < pl.macro_rects.size(); ++j) {
+      EXPECT_FALSE(r.overlaps(pl.macro_rects[j]));
+    }
+  }
+}
+
+TEST(Placer, CellsAvoidMacroArea) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIspd15, 17);
+  Placement pl = make_placement(nl, 18);
+  if (pl.macro_rects.empty()) GTEST_SKIP() << "no macros drawn";
+  std::int64_t inside = 0;
+  for (std::size_t i = 0; i < pl.x.size(); ++i) {
+    if (pl.blocked(static_cast<std::int64_t>(pl.x[i]),
+                   static_cast<std::int64_t>(pl.y[i]))) {
+      ++inside;
+    }
+  }
+  // Blocked gcells keep ~5% capacity, so only a trickle may sit there.
+  EXPECT_LT(static_cast<double>(inside) / static_cast<double>(pl.x.size()),
+            0.05);
+}
+
+TEST(Placer, OccupancyRespectsCapacitySlack) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kItc99, 19);
+  PlacerOptions opts;
+  opts.moves_per_cell = 2.0;
+  Rng rng(20);
+  Placement pl = place(nl, opts, rng);
+  std::vector<double> occupancy(32 * 32, 0.0);
+  for (std::size_t i = 0; i < pl.x.size(); ++i) {
+    const std::int64_t g = static_cast<std::int64_t>(pl.y[i]) * 32 +
+                           static_cast<std::int64_t>(pl.x[i]);
+    occupancy[static_cast<std::size_t>(g)] += nl->cells[i].area;
+  }
+  // The initial streaming respects proportional quotas and SA enforces
+  // the slack bound; allow the initial +5% stream slack on top.
+  const double limit =
+      opts.tech.gcell_cell_capacity * opts.occupancy_slack * 1.4;
+  for (double occ : occupancy) EXPECT_LE(occ, limit + 4.0);
+}
+
+TEST(Placer, LogicalLocalityBecomesSpatial) {
+  // Cells adjacent in netlist order should end up spatially closer
+  // than random cell pairs (the property that gives realistic nets).
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIscas89, 21);
+  Placement pl = make_placement(nl, 22);
+  Rng rng(23);
+  double adjacent = 0.0, random_pairs = 0.0;
+  const std::size_t n = pl.x.size();
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const std::size_t i = static_cast<std::size_t>(rng.uniform_int(n - 1));
+    adjacent += std::fabs(pl.x[i] - pl.x[i + 1]) +
+                std::fabs(pl.y[i] - pl.y[i + 1]);
+    const std::size_t a = static_cast<std::size_t>(rng.uniform_int(n));
+    const std::size_t b = static_cast<std::size_t>(rng.uniform_int(n));
+    random_pairs += std::fabs(pl.x[a] - pl.x[b]) +
+                    std::fabs(pl.y[a] - pl.y[b]);
+  }
+  EXPECT_LT(adjacent, 0.5 * random_pairs);
+}
+
+TEST(Placer, HpwlIsNonNegativeAndStable) {
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIwls05, 25);
+  Placement pl = make_placement(nl, 26);
+  const double h1 = pl.hpwl();
+  const double h2 = pl.hpwl();
+  EXPECT_GE(h1, 0.0);
+  EXPECT_DOUBLE_EQ(h1, h2);
+}
+
+TEST(Placer, RejectsNullAndTinyGrids) {
+  Rng rng(1);
+  PlacerOptions opts;
+  EXPECT_THROW(place(nullptr, opts, rng), std::invalid_argument);
+  NetlistPtr nl = make_netlist(BenchmarkSuite::kIscas89, 27);
+  opts.grid_w = 1;
+  EXPECT_THROW(place(nl, opts, rng), std::invalid_argument);
+}
+
+TEST(Rect, GeometryHelpers) {
+  Rect a{0, 0, 4, 4};
+  Rect b{3, 3, 6, 6};
+  Rect c{4, 0, 6, 2};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.contains(0, 0));
+  EXPECT_FALSE(a.contains(4, 4));
+  EXPECT_EQ(a.area(), 16);
+}
+
+}  // namespace
+}  // namespace fleda

@@ -1,0 +1,225 @@
+// Tests for the global router and DRC extraction: conservation
+// (demand equals committed path volume), capacity semantics under
+// blockage, rip-up reducing overflow, determinism, and hotspot-map
+// invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phys/drc.hpp"
+#include "phys/global_router.hpp"
+#include "phys/netlist.hpp"
+#include "phys/placer.hpp"
+#include "tensor/ops.hpp"
+
+namespace fleda {
+namespace {
+
+NetlistPtr make_netlist(BenchmarkSuite suite, std::uint64_t seed) {
+  NetlistGenParams p;
+  p.profile = profile_for(suite);
+  p.grid_w = 32;
+  p.grid_h = 32;
+  p.gcell_cell_capacity = 8.0;
+  Rng rng(seed);
+  return generate_netlist(p, rng);
+}
+
+Placement make_placement(BenchmarkSuite suite, std::uint64_t seed) {
+  NetlistPtr nl = make_netlist(suite, seed);
+  PlacerOptions opts;
+  opts.moves_per_cell = 1.0;
+  Rng rng(seed + 1);
+  return place(nl, opts, rng);
+}
+
+TEST(Router, DeterministicForSameSeed) {
+  Placement pl = make_placement(BenchmarkSuite::kItc99, 31);
+  RouterOptions opts;
+  Rng r1(5), r2(5);
+  RoutingResult a = route(pl, opts, r1);
+  RoutingResult b = route(pl, opts, r2);
+  EXPECT_TRUE(a.demand_h.equals(b.demand_h));
+  EXPECT_TRUE(a.demand_v.equals(b.demand_v));
+  EXPECT_DOUBLE_EQ(a.total_wirelength, b.total_wirelength);
+}
+
+TEST(Router, DemandAccountsForWirelengthAndPins) {
+  Placement pl = make_placement(BenchmarkSuite::kIscas89, 33);
+  RouterOptions opts;
+  Rng rng(7);
+  RoutingResult rr = route(pl, opts, rng);
+  // Total wire demand = wirelength * unit demand; plus pin via demand
+  // on both direction maps.
+  const double pin_demand =
+      static_cast<double>(opts.tech.pin_via_demand) *
+      [&] {
+        double w = 0.0;
+        for (const Net& net : pl.netlist->nets) {
+          for (std::int32_t c : net.cells) {
+            w += pl.netlist->cells[static_cast<std::size_t>(c)].pin_weight;
+          }
+        }
+        return w;
+      }();
+  const double total_demand =
+      static_cast<double>(sum(rr.demand_h)) + sum(rr.demand_v);
+  EXPECT_NEAR(total_demand,
+              rr.total_wirelength * opts.tech.wire_unit_demand +
+                  2.0 * pin_demand,
+              0.01 * total_demand);
+}
+
+TEST(Router, ConnectionsMatchStarDecomposition) {
+  Placement pl = make_placement(BenchmarkSuite::kIscas89, 35);
+  RouterOptions opts;
+  Rng rng(9);
+  RoutingResult rr = route(pl, opts, rng);
+  std::int64_t expected = 0;
+  for (const Net& net : pl.netlist->nets) expected += net.degree() - 1;
+  EXPECT_EQ(rr.num_connections, expected);
+}
+
+TEST(Router, CapacityReducedUnderMacros) {
+  Placement pl = make_placement(BenchmarkSuite::kIspd15, 37);
+  if (pl.macro_rects.empty()) GTEST_SKIP() << "no macros drawn";
+  RouterOptions opts;
+  Rng rng(11);
+  RoutingResult rr = route(pl, opts, rng);
+  const Rect& r = pl.macro_rects.front();
+  const float free_cap = static_cast<float>(
+      opts.tech.horizontal_tracks * opts.capacity_scale);
+  EXPECT_LT(rr.capacity_h.at(r.y0, r.x0), 0.5f * free_cap);
+  // And full capacity somewhere outside all macros.
+  bool found_free = false;
+  for (std::int64_t gy = 0; gy < 32 && !found_free; ++gy) {
+    for (std::int64_t gx = 0; gx < 32 && !found_free; ++gx) {
+      if (!pl.blocked(gx, gy)) {
+        EXPECT_NEAR(rr.capacity_h.at(gy, gx), free_cap, 1e-3f);
+        found_free = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_free);
+}
+
+TEST(Router, RipUpReducesOrMaintainsOverflow) {
+  Placement pl = make_placement(BenchmarkSuite::kIwls05, 39);
+  RouterOptions no_rrr;
+  no_rrr.rrr_iterations = 0;
+  RouterOptions with_rrr;
+  with_rrr.rrr_iterations = 3;
+  Rng r1(13), r2(13);
+  RoutingResult before = route(pl, no_rrr, r1);
+  RoutingResult after = route(pl, with_rrr, r2);
+  EXPECT_LE(sum(after.overflow()), sum(before.overflow()) * 1.02f);
+}
+
+TEST(Router, OverflowIsNonNegativeAndConsistent) {
+  Placement pl = make_placement(BenchmarkSuite::kItc99, 41);
+  RouterOptions opts;
+  Rng rng(15);
+  RoutingResult rr = route(pl, opts, rng);
+  Tensor of = rr.overflow();
+  for (std::int64_t i = 0; i < of.numel(); ++i) {
+    EXPECT_GE(of[i], 0.0f);
+  }
+  EXPECT_EQ(rr.overflowed_gcells() == 0, max_value(of) == 0.0f);
+}
+
+TEST(Router, HigherCapacityScaleLowersCongestion) {
+  Placement pl = make_placement(BenchmarkSuite::kItc99, 43);
+  RouterOptions tight;
+  tight.capacity_scale = 0.8;
+  RouterOptions loose;
+  loose.capacity_scale = 2.0;
+  Rng r1(17), r2(17);
+  RoutingResult a = route(pl, tight, r1);
+  RoutingResult b = route(pl, loose, r2);
+  EXPECT_GT(sum(a.overflow()), sum(b.overflow()));
+  EXPECT_GE(a.overflowed_gcells(), b.overflowed_gcells());
+}
+
+TEST(Router, CongestionRatioHandlesBlockedCells) {
+  Placement pl = make_placement(BenchmarkSuite::kIspd15, 45);
+  RouterOptions opts;
+  Rng rng(19);
+  RoutingResult rr = route(pl, opts, rng);
+  Tensor ratio = rr.congestion_ratio();
+  for (std::int64_t i = 0; i < ratio.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(ratio[i]));
+    EXPECT_GE(ratio[i], 0.0f);
+  }
+}
+
+TEST(Drc, HotspotMapIsBinary) {
+  Placement pl = make_placement(BenchmarkSuite::kIwls05, 47);
+  RouterOptions opts;
+  Rng rng(21);
+  RoutingResult rr = route(pl, opts, rng);
+  DrcOptions dopts;
+  Tensor hot = drc_hotspot_map(rr, dopts);
+  for (std::int64_t i = 0; i < hot.numel(); ++i) {
+    EXPECT_TRUE(hot[i] == 0.0f || hot[i] == 1.0f);
+  }
+}
+
+TEST(Drc, LowerThresholdFindsMoreHotspots) {
+  Placement pl = make_placement(BenchmarkSuite::kIspd15, 49);
+  RouterOptions opts;
+  Rng rng(23);
+  RoutingResult rr = route(pl, opts, rng);
+  DrcOptions strict;
+  strict.threshold = 0.7;
+  DrcOptions lax;
+  lax.threshold = 1.5;
+  EXPECT_GE(hotspot_rate(drc_hotspot_map(rr, strict)),
+            hotspot_rate(drc_hotspot_map(rr, lax)));
+}
+
+TEST(Drc, DilationOnlyAddsHotspots) {
+  Placement pl = make_placement(BenchmarkSuite::kItc99, 51);
+  RouterOptions opts;
+  Rng rng(25);
+  RoutingResult rr = route(pl, opts, rng);
+  DrcOptions no_dilation;
+  no_dilation.dilation_support = 0;
+  DrcOptions dilated;
+  dilated.dilation_support = 2;
+  Tensor base = drc_hotspot_map(rr, no_dilation);
+  Tensor grown = drc_hotspot_map(rr, dilated);
+  for (std::int64_t i = 0; i < base.numel(); ++i) {
+    EXPECT_GE(grown[i], base[i]);
+  }
+}
+
+TEST(Drc, HotspotRateSanityAcrossSuites) {
+  // Labels must be neither empty nor saturated for learnability: check
+  // pooled rate over a few designs per suite.
+  for (BenchmarkSuite suite :
+       {BenchmarkSuite::kIscas89, BenchmarkSuite::kItc99,
+        BenchmarkSuite::kIwls05, BenchmarkSuite::kIspd15}) {
+    double pooled = 0.0;
+    const int designs = 3;
+    for (int d = 0; d < designs; ++d) {
+      Placement pl = make_placement(suite, 100 + static_cast<std::uint64_t>(d));
+      RouterOptions opts;
+      opts.capacity_scale = profile_for(suite).capacity_scale;
+      Rng rng(200 + static_cast<std::uint64_t>(d));
+      RoutingResult rr = route(pl, opts, rng);
+      DrcOptions dopts;
+      dopts.threshold = opts.tech.drc_overflow_ratio;
+      pooled += hotspot_rate(drc_hotspot_map(rr, dopts));
+    }
+    pooled /= designs;
+    EXPECT_GT(pooled, 0.001) << to_string(suite);
+    EXPECT_LT(pooled, 0.75) << to_string(suite);
+  }
+}
+
+TEST(Drc, EmptyLabelThrows) {
+  EXPECT_THROW(hotspot_rate(Tensor()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fleda

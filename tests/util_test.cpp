@@ -1,0 +1,237 @@
+// Unit tests for the util substrate: RNG determinism and distribution
+// sanity, thread pool / parallel_for correctness, ASCII tables, CLI
+// parsing, and run-scale resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversAll) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkYieldsIndependentStreams) {
+  Rng parent(41);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      parallel_for(10, [&](std::size_t bb, std::size_t ee) {
+        total.fetch_add(static_cast<int>(ee - bb));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  std::vector<double> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i % 17) * 0.25;
+  }
+  double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  std::atomic<long long> cents{0};
+  parallel_for(values.size(), [&](std::size_t b, std::size_t e) {
+    double local = 0.0;
+    for (std::size_t i = b; i < e; ++i) local += values[i];
+    cents.fetch_add(static_cast<long long>(local * 4.0));
+  });
+  EXPECT_EQ(static_cast<long long>(serial * 4.0), cents.load());
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t("Title");
+  t.set_header({"A", "BB"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| A "), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t;
+  t.set_header({"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(AsciiTable, FmtPrecision) {
+  EXPECT_EQ(AsciiTable::fmt(0.7812, 2), "0.78");
+  EXPECT_EQ(AsciiTable::fmt(0.7812, 3), "0.781");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--rounds=12", "--model", "flnet", "--verbose"};
+  CliParser cli(5, argv);
+  EXPECT_EQ(cli.get_int("rounds", 0), 12);
+  EXPECT_EQ(cli.get_string("model", ""), "flnet");
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "pos1", "--x=1", "pos2"};
+  CliParser cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--mu=0.0001"};
+  CliParser cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("mu", 0.0), 0.0001);
+}
+
+TEST(RunScale, KnownScales) {
+  EXPECT_EQ(resolve_scale("smoke").name, "smoke");
+  EXPECT_EQ(resolve_scale("quick").name, "quick");
+  EXPECT_EQ(resolve_scale("full").name, "full");
+  EXPECT_EQ(resolve_scale("bogus").name, "quick");
+}
+
+TEST(RunScale, ScalesAreOrdered) {
+  RunScale smoke = resolve_scale("smoke");
+  RunScale quick = resolve_scale("quick");
+  RunScale full = resolve_scale("full");
+  EXPECT_LT(smoke.rounds, quick.rounds);
+  EXPECT_LT(quick.rounds, full.rounds);
+  EXPECT_LE(smoke.grid, quick.grid);
+  EXPECT_LE(quick.grid, full.grid);
+  EXPECT_LT(smoke.placement_fraction, full.placement_fraction);
+}
+
+}  // namespace
+}  // namespace fleda
