@@ -17,9 +17,11 @@ class DpFedProx : public FederatedAlgorithm {
   explicit DpFedProx(const DpOptions& dp) : dp_(dp) {}
   std::string name() const override { return "DP-FedProx"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override {
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override {
     Rng init_rng(opts.seed);
     RoutabilityModelPtr init = factory(init_rng);
     ModelParameters global = ModelParameters::from_model(*init);
@@ -29,7 +31,7 @@ class DpFedProx : public FederatedAlgorithm {
     for (int r = 0; r < opts.rounds; ++r) {
       std::vector<const ModelParameters*> deployed(clients.size(), &global);
       std::vector<ModelParameters> updates =
-          parallel_local_updates(clients, deployed, opts.client);
+          parallel_local_updates(clients, deployed, opts.client, channel);
       for (ModelParameters& update : updates) {
         privatize_update(update, global, dp_, noise_rng);
       }

@@ -39,6 +39,7 @@ inline int run_accuracy_table(ModelKind model, const std::string& title) {
   std::vector<MethodResult> rows = exp.run_paper_table();
   render_accuracy_table(title, rows).print();
   render_headline_summary(rows).print();
+  render_comm_table(rows).print();
   std::printf("total time %.1fs\n\n", total.seconds());
   return 0;
 }

@@ -1,0 +1,126 @@
+// Microbenchmark for the src/comm/ parameter-exchange subsystem.
+//
+// Part 1 measures encode/decode throughput (MB/s of fp32-equivalent
+// payload) and compression ratio for every codec on a realistic FLNet
+// snapshot. Part 2 runs the same FedProx experiment end-to-end through
+// an Fp32 channel and an Int8Quant channel and reports the upload-byte
+// reduction plus the final-model test AUC of both runs (which should
+// agree within noise).
+//
+// Output is one JSON object per line, easy to diff/collect in CI:
+//   {"bench":"codec","name":"int8",...}
+//   {"bench":"e2e","codec":"int8",...}
+//
+// Honors FLEDA_SCALE (default smoke — this is a bandwidth bench, not
+// an accuracy bench) and FLEDA_CACHE_DIR like the table benches.
+#include <cstdio>
+#include <cstdlib>
+
+#include "comm/channel.hpp"
+#include "comm/codec.hpp"
+#include "core/experiment.hpp"
+#include "models/registry.hpp"
+#include "phys/features.hpp"
+#include "util/timer.hpp"
+
+namespace fleda {
+namespace {
+
+ModelParameters paper_snapshot(std::uint64_t seed) {
+  Rng rng(seed);
+  RoutabilityModelPtr model =
+      make_model(ModelKind::kFLNet, kNumFeatureChannels, rng);
+  return ModelParameters::from_model(*model);
+}
+
+void bench_codec(const ParameterCodec& codec, const ModelParameters& params,
+                 const ModelParameters& reference, int repeats) {
+  // Warm-up + size probe.
+  ByteBuffer blob = codec.encode(params, &reference);
+  const double raw_mb = static_cast<double>(raw_wire_bytes(params)) / 1e6;
+
+  Timer encode_timer;
+  for (int i = 0; i < repeats; ++i) {
+    ByteBuffer b = codec.encode(params, &reference);
+  }
+  const double encode_s = encode_timer.seconds();
+
+  Timer decode_timer;
+  for (int i = 0; i < repeats; ++i) {
+    ModelParameters p = codec.decode(blob, &reference);
+  }
+  const double decode_s = decode_timer.seconds();
+
+  std::printf(
+      "{\"bench\":\"codec\",\"name\":\"%s\",\"raw_mb\":%.3f,"
+      "\"encoded_mb\":%.3f,\"compression\":%.2f,"
+      "\"encode_mb_per_s\":%.1f,\"decode_mb_per_s\":%.1f}\n",
+      codec.name().c_str(), raw_mb, static_cast<double>(blob.size()) / 1e6,
+      static_cast<double>(raw_wire_bytes(params)) /
+          static_cast<double>(blob.size()),
+      raw_mb * repeats / encode_s, raw_mb * repeats / decode_s);
+}
+
+struct E2EResult {
+  double upload_mb = 0.0;
+  double avg_auc = 0.0;
+  double sim_latency_s = 0.0;
+};
+
+E2EResult run_e2e(Experiment& exp, CodecKind uplink) {
+  // Mutating the comm config between runs is the whole point of the
+  // bench; everything else (data, seeds) stays fixed.
+  ExperimentConfig cfg = exp.config();
+  cfg.comm.uplink = uplink;
+  Experiment run(cfg);
+  run.prepare_data();
+  MethodResult row = run.run_method(TrainingMethod::kFedProx);
+  E2EResult r;
+  r.upload_mb = row.comm.uplink_mb();
+  r.avg_auc = row.average;
+  r.sim_latency_s = row.comm.simulated_latency_s;
+  return r;
+}
+
+int main_impl() {
+  const ModelParameters params = paper_snapshot(1);
+  const ModelParameters reference = paper_snapshot(2);
+  const int repeats = 20;
+
+  for (CodecKind kind : {CodecKind::kFp32, CodecKind::kFp16,
+                         CodecKind::kInt8Quant, CodecKind::kTopKDelta}) {
+    std::unique_ptr<ParameterCodec> codec = make_codec(kind, 0.05);
+    bench_codec(*codec, params, reference, repeats);
+  }
+
+  // End-to-end: FedProx through fp32 vs int8 uplinks.
+  ExperimentConfig cfg;
+  cfg.model = ModelKind::kFLNet;
+  const char* scale = std::getenv("FLEDA_SCALE");
+  cfg.scale = resolve_scale(scale == nullptr ? "smoke" : scale);
+  const char* cache = std::getenv("FLEDA_CACHE_DIR");
+  cfg.cache_dir = cache != nullptr ? cache : ".fleda-cache";
+  Experiment exp(cfg);
+
+  const E2EResult fp32 = run_e2e(exp, CodecKind::kFp32);
+  const E2EResult int8 = run_e2e(exp, CodecKind::kInt8Quant);
+  const double reduction =
+      int8.upload_mb > 0.0 ? fp32.upload_mb / int8.upload_mb : 0.0;
+
+  std::printf(
+      "{\"bench\":\"e2e\",\"codec\":\"fp32\",\"upload_mb\":%.3f,"
+      "\"avg_auc\":%.4f,\"sim_latency_s\":%.1f}\n",
+      fp32.upload_mb, fp32.avg_auc, fp32.sim_latency_s);
+  std::printf(
+      "{\"bench\":\"e2e\",\"codec\":\"int8\",\"upload_mb\":%.3f,"
+      "\"avg_auc\":%.4f,\"sim_latency_s\":%.1f,"
+      "\"upload_reduction_vs_fp32\":%.2f,\"auc_delta\":%.4f}\n",
+      int8.upload_mb, int8.avg_auc, int8.sim_latency_s, reduction,
+      int8.avg_auc - fp32.avg_auc);
+  return reduction >= 3.5 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fleda
+
+int main() { return fleda::main_impl(); }

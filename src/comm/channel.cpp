@@ -1,0 +1,139 @@
+#include "comm/channel.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+
+double ChannelStats::uplink_compression() const {
+  return uplink_bytes > 0
+             ? static_cast<double>(raw_uplink_bytes) /
+                   static_cast<double>(uplink_bytes)
+             : 1.0;
+}
+
+double ChannelStats::downlink_compression() const {
+  return downlink_bytes > 0
+             ? static_cast<double>(raw_downlink_bytes) /
+                   static_cast<double>(downlink_bytes)
+             : 1.0;
+}
+
+Channel::Channel(const CommConfig& config)
+    : config_(config),
+      uplink_codec_(make_codec(config.uplink, config.topk_fraction)),
+      downlink_codec_(make_codec(config.downlink, config.topk_fraction)) {
+  if (config.uplink_bytes_per_sec <= 0.0 ||
+      config.downlink_bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("Channel: bandwidth must be > 0");
+  }
+  // A delta downlink would need the server to track every client's
+  // last-received model as the shared reference; broadcast() encodes
+  // against nullptr, which for TopKDelta silently zeroes ~(1-k/n) of
+  // the deployed weights. Reject it until per-client reference
+  // tracking exists (see ROADMAP).
+  if (config.downlink == CodecKind::kTopKDelta) {
+    throw std::invalid_argument(
+        "Channel: TopKDelta is an uplink-only codec (no shared downlink "
+        "reference)");
+  }
+}
+
+void Channel::bill_downlink(std::uint64_t bytes, std::uint64_t raw_bytes) {
+  stats_.downlink_bytes += bytes;
+  stats_.raw_downlink_bytes += raw_bytes;
+  stats_.downlink_messages += 1;
+  current_round_.downlink_bytes += bytes;
+  current_round_.downlink_messages += 1;
+}
+
+void Channel::bill_uplink(std::uint64_t bytes, std::uint64_t raw_bytes) {
+  stats_.uplink_bytes += bytes;
+  stats_.raw_uplink_bytes += raw_bytes;
+  stats_.uplink_messages += 1;
+  current_round_.uplink_bytes += bytes;
+  current_round_.uplink_messages += 1;
+  round_uplink_total_ += bytes;
+}
+
+std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
+    const std::vector<const ModelParameters*>& deployed) {
+  // Encode (and decode) each distinct snapshot once; identical pointers
+  // mean the same broadcast payload, and all recipients share the one
+  // decoded copy. Distinct snapshots go through the codec in parallel,
+  // mirroring collect().
+  std::vector<const ModelParameters*> distinct;
+  std::map<const ModelParameters*, std::size_t> index;
+  for (const ModelParameters* p : deployed) {
+    if (p == nullptr) throw std::invalid_argument("broadcast: null snapshot");
+    if (index.emplace(p, distinct.size()).second) distinct.push_back(p);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sizes(distinct.size());
+  std::vector<std::shared_ptr<const ModelParameters>> decoded(distinct.size());
+  parallel_for(distinct.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const ByteBuffer blob = downlink_codec_->encode(*distinct[i], nullptr);
+      sizes[i] = {blob.size(), raw_wire_bytes(*distinct[i])};
+      decoded[i] = std::make_shared<const ModelParameters>(
+          downlink_codec_->decode(blob, nullptr));
+    }
+  });
+  std::vector<std::shared_ptr<const ModelParameters>> received;
+  received.reserve(deployed.size());
+  std::uint64_t wave_max = 0;
+  for (const ModelParameters* p : deployed) {
+    const auto& [bytes, raw] = sizes[index.at(p)];
+    bill_downlink(bytes, raw);
+    wave_max = std::max(wave_max, bytes);
+    received.push_back(decoded[index.at(p)]);
+  }
+  // One wave of parallel downloads: the round's serial downlink time
+  // grows by the largest message in the wave.
+  round_downlink_serial_ += wave_max;
+  return received;
+}
+
+std::vector<ModelParameters> Channel::collect(
+    const std::vector<ModelParameters>& updates,
+    const std::vector<const ModelParameters*>& references) {
+  if (updates.size() != references.size()) {
+    throw std::invalid_argument(
+        "Channel::collect: " + std::to_string(updates.size()) +
+        " updates vs " + std::to_string(references.size()) + " references");
+  }
+  const std::size_t n = updates.size();
+  std::vector<ModelParameters> received(n);
+  std::vector<std::uint64_t> bytes(n, 0), raw(n, 0);
+  // Encode client-side and decode server-side per update; the pool
+  // parallelizes across clients (stats are reduced serially below).
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const ByteBuffer blob = uplink_codec_->encode(updates[k], references[k]);
+      bytes[k] = blob.size();
+      raw[k] = raw_wire_bytes(updates[k]);
+      received[k] = uplink_codec_->decode(blob, references[k]);
+    }
+  });
+  for (std::size_t k = 0; k < n; ++k) bill_uplink(bytes[k], raw[k]);
+  return received;
+}
+
+void Channel::end_round() {
+  current_round_.round = static_cast<int>(stats_.rounds.size());
+  current_round_.simulated_latency_s =
+      2.0 * config_.per_message_latency_s +
+      static_cast<double>(round_downlink_serial_) /
+          config_.downlink_bytes_per_sec +
+      static_cast<double>(round_uplink_total_) / config_.uplink_bytes_per_sec;
+  stats_.simulated_latency_s += current_round_.simulated_latency_s;
+  stats_.rounds.push_back(current_round_);
+  current_round_ = RoundCommStats{};
+  round_downlink_serial_ = 0;
+  round_uplink_total_ = 0;
+}
+
+}  // namespace fleda

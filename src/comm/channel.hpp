@@ -1,0 +1,110 @@
+// Channel: the metered transport every parameter exchange of the round
+// loop goes through. The server broadcasts deployed snapshots down it
+// and collects client updates up it; each message is encoded with the
+// configured codec, byte/message counts are accumulated per round and
+// cumulatively, and a simple latency model turns bytes into simulated
+// wall-clock seconds.
+//
+// Latency model per round (documented, deliberately simple): each
+// broadcast() call is one wave of parallel client downloads costing
+// max(message bytes in the wave) / downlink_Bps; waves within a round
+// are serial (a client that must fetch C models pays C waves). Uplink
+// ingress at the developer is shared, so the round pays
+// sum_k(bytes_k) / uplink_Bps, plus a fixed per_message_latency per
+// direction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/codec.hpp"
+
+namespace fleda {
+
+struct CommConfig {
+  CodecKind uplink = CodecKind::kFp32;    // client -> server updates
+  CodecKind downlink = CodecKind::kFp32;  // server -> client deployments
+  double topk_fraction = 0.05;            // TopKDeltaCodec keep fraction
+  // Simulated transport parameters (defaults: 100 Mbit/s up,
+  // 500 Mbit/s down, 50 ms fixed cost per direction).
+  double uplink_bytes_per_sec = 12.5e6;
+  double downlink_bytes_per_sec = 62.5e6;
+  double per_message_latency_s = 0.05;
+};
+
+struct RoundCommStats {
+  int round = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t downlink_messages = 0;
+  double simulated_latency_s = 0.0;
+};
+
+struct ChannelStats {
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  // What the same exchanges would have cost uncompressed (fp32).
+  std::uint64_t raw_uplink_bytes = 0;
+  std::uint64_t raw_downlink_bytes = 0;
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t downlink_messages = 0;
+  double simulated_latency_s = 0.0;
+  std::vector<RoundCommStats> rounds;
+
+  double uplink_compression() const;    // raw / actual; 1.0 when idle
+  double downlink_compression() const;
+  double uplink_mb() const { return static_cast<double>(uplink_bytes) / 1e6; }
+  double downlink_mb() const {
+    return static_cast<double>(downlink_bytes) / 1e6;
+  }
+  double total_mb() const { return uplink_mb() + downlink_mb(); }
+};
+
+class Channel {
+ public:
+  explicit Channel(const CommConfig& config);
+
+  // Server -> clients. deployed[k] is the snapshot addressed to client
+  // k; repeated pointers (a shared global model) are encoded once but
+  // billed per recipient, like a broadcast. Returns what each client
+  // decodes — under a lossy codec this is what the client actually
+  // trains from. Each distinct snapshot is decoded once and shared
+  // across recipients (recipients must not mutate it).
+  std::vector<std::shared_ptr<const ModelParameters>> broadcast(
+      const std::vector<const ModelParameters*>& deployed);
+
+  // Clients -> server. references[k] is the snapshot client k started
+  // from this round (already held by both sides; delta codecs encode
+  // against it). Encoding happens client-side and decoding server-side,
+  // both in parallel on ThreadPool::global(). Returns the server-side
+  // view of each update.
+  std::vector<ModelParameters> collect(
+      const std::vector<ModelParameters>& updates,
+      const std::vector<const ModelParameters*>& references);
+
+  // Closes the current round's accounting entry (called once per FL
+  // round by the round loop).
+  void end_round();
+
+  const CommConfig& config() const { return config_; }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  void bill_downlink(std::uint64_t bytes, std::uint64_t raw_bytes);
+  void bill_uplink(std::uint64_t bytes, std::uint64_t raw_bytes);
+
+  CommConfig config_;
+  std::unique_ptr<ParameterCodec> uplink_codec_;
+  std::unique_ptr<ParameterCodec> downlink_codec_;
+  ChannelStats stats_;
+  RoundCommStats current_round_;
+  // Serial downlink bytes this round (sum over broadcast waves of the
+  // largest message in the wave) and total uplink bytes (shared
+  // ingress model).
+  std::uint64_t round_downlink_serial_ = 0;
+  std::uint64_t round_uplink_total_ = 0;
+};
+
+}  // namespace fleda

@@ -1,0 +1,129 @@
+// ParameterCodec: pluggable (de)serialization + compression of
+// ModelParameters for the parameter-exchange channel. This is the unit
+// the decentralized setting actually ships over the network — clients
+// upload encoded updates, the developer broadcasts encoded aggregates —
+// so every codec pairs an `encode` to a byte buffer with a `decode`
+// back to a structurally identical snapshot.
+//
+// Wire format "FLC1" (extends the tensor "FLT1" idiom): magic, codec
+// id (u8), entry count (u32), then per entry name / buffer flag /
+// shape followed by a codec-specific payload. All integers are
+// little-endian; payloads are self-describing so decode works without
+// out-of-band metadata.
+//
+// Delta codecs (TopKDeltaCodec) additionally take a `reference`
+// snapshot both sides already hold — the deployed model — and encode
+// only the (sparsified) difference against it. Stateless codecs ignore
+// the reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/parameters.hpp"
+
+namespace fleda {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+enum class CodecKind : std::uint8_t {
+  kFp32 = 0,       // baseline: raw float32, lossless
+  kFp16 = 1,       // IEEE 754 half precision, 2x
+  kInt8Quant = 2,  // per-tensor affine quantization to u8, ~4x
+  kTopKDelta = 3,  // top-k sparsified delta vs. the deployed model
+};
+
+std::string to_string(CodecKind kind);
+
+class ParameterCodec {
+ public:
+  virtual ~ParameterCodec() = default;
+
+  virtual std::string name() const = 0;
+  virtual CodecKind kind() const = 0;
+
+  // Encodes `params` to a self-describing byte buffer. `reference` is
+  // the snapshot the receiver is known to hold (the deployed model);
+  // nullptr means "no shared state" (delta codecs fall back to a delta
+  // against zeros).
+  virtual ByteBuffer encode(const ModelParameters& params,
+                            const ModelParameters* reference) const = 0;
+
+  // Inverse of encode; `reference` must match the encoder's.
+  // Throws std::runtime_error on malformed input.
+  virtual ModelParameters decode(const ByteBuffer& blob,
+                                 const ModelParameters* reference) const = 0;
+};
+
+// Factory. `topk_fraction` only affects kTopKDelta (fraction of
+// entries kept, in (0, 1]).
+std::unique_ptr<ParameterCodec> make_codec(CodecKind kind,
+                                           double topk_fraction = 0.05);
+
+// Bytes an uncompressed fp32 exchange of `params` would occupy on the
+// wire (the Fp32Codec size) — the baseline for compression ratios.
+std::uint64_t raw_wire_bytes(const ModelParameters& params);
+
+// IEEE 754 binary16 conversions (round-to-nearest-even), exposed for
+// tests and the Fp16Codec.
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+
+// ---------------------------------------------------------------------
+// Concrete codecs.
+
+class Fp32Codec : public ParameterCodec {
+ public:
+  std::string name() const override { return "fp32"; }
+  CodecKind kind() const override { return CodecKind::kFp32; }
+  ByteBuffer encode(const ModelParameters& params,
+                    const ModelParameters* reference) const override;
+  ModelParameters decode(const ByteBuffer& blob,
+                         const ModelParameters* reference) const override;
+};
+
+class Fp16Codec : public ParameterCodec {
+ public:
+  std::string name() const override { return "fp16"; }
+  CodecKind kind() const override { return CodecKind::kFp16; }
+  ByteBuffer encode(const ModelParameters& params,
+                    const ModelParameters* reference) const override;
+  ModelParameters decode(const ByteBuffer& blob,
+                         const ModelParameters* reference) const override;
+};
+
+// Per-tensor affine quantization: each entry stores f32 min + f32 step
+// and one u8 per element; x ~ min + step * q.
+class Int8QuantCodec : public ParameterCodec {
+ public:
+  std::string name() const override { return "int8"; }
+  CodecKind kind() const override { return CodecKind::kInt8Quant; }
+  ByteBuffer encode(const ModelParameters& params,
+                    const ModelParameters* reference) const override;
+  ModelParameters decode(const ByteBuffer& blob,
+                         const ModelParameters* reference) const override;
+};
+
+// Keeps only the k = max(1, fraction * numel) largest-magnitude
+// entries of (params - reference), stored as (index, value) pairs per
+// tensor; decode scatters them onto the reference. Builds on the same
+// delta view of an update as fl/privacy.cpp's clipping.
+class TopKDeltaCodec : public ParameterCodec {
+ public:
+  explicit TopKDeltaCodec(double fraction);
+
+  std::string name() const override;
+  CodecKind kind() const override { return CodecKind::kTopKDelta; }
+  double fraction() const { return fraction_; }
+  ByteBuffer encode(const ModelParameters& params,
+                    const ModelParameters* reference) const override;
+  ModelParameters decode(const ByteBuffer& blob,
+                         const ModelParameters* reference) const override;
+
+ private:
+  double fraction_ = 0.05;
+};
+
+}  // namespace fleda

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "fl/client.hpp"
 
 namespace fleda {
@@ -14,6 +15,9 @@ struct MethodResult {
   std::string method;
   std::vector<double> client_auc;  // AUC on client k's test data
   double average = 0.0;
+  // Cumulative channel accounting for the run that produced this row
+  // (all-zero for non-federated baselines, which exchange nothing).
+  ChannelStats comm;
 };
 
 // Evaluates per-client final models: finals[k] on clients[k].

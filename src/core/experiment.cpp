@@ -119,6 +119,7 @@ FLRunOptions Experiment::make_run_options() const {
   opts.rounds = config_.scale.rounds;
   opts.client = make_client_config();
   opts.seed = config_.train_seed;
+  opts.comm = config_.comm;
   return opts;
 }
 
@@ -174,15 +175,20 @@ MethodResult Experiment::run_method(TrainingMethod method) {
     result = evaluate_shared(to_string(method), clients, central);
   } else {
     std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
-    std::vector<ModelParameters> finals =
-        algo->run(clients, factory_, make_run_options());
+    ChannelStats comm;
+    FLRunOptions opts = make_run_options();
+    opts.comm_stats = &comm;
+    std::vector<ModelParameters> finals = algo->run(clients, factory_, opts);
     result = evaluate_per_client(to_string(method), clients, finals);
+    result.comm = std::move(comm);
   }
 
-  FLEDA_LOG_INFO("%s [%s]: avg AUC %.3f (%.1fs)",
-                 to_string(method).c_str(),
-                 to_string(config_.model).c_str(), result.average,
-                 timer.seconds());
+  FLEDA_LOG_INFO(
+      "%s [%s]: avg AUC %.3f (%.1fs; comm up %.2f MB / down %.2f MB, "
+      "sim latency %.1fs)",
+      to_string(method).c_str(), to_string(config_.model).c_str(),
+      result.average, timer.seconds(), result.comm.uplink_mb(),
+      result.comm.downlink_mb(), result.comm.simulated_latency_s);
   return result;
 }
 

@@ -46,6 +46,9 @@ struct ExperimentConfig {
   PaperHyperParams hparams;       // paper §5.1 verbatim values
   std::uint64_t data_seed = 20220203;
   std::uint64_t train_seed = 7;
+  // Parameter-exchange transport (codecs + simulated link) used by all
+  // federated methods; defaults to lossless fp32 both ways.
+  CommConfig comm;
   // Optional directory for caching the generated dataset across runs.
   std::string cache_dir;
 };

@@ -82,4 +82,21 @@ AsciiTable render_headline_summary(const std::vector<MethodResult>& rows) {
   return table;
 }
 
+AsciiTable render_comm_table(const std::vector<MethodResult>& rows) {
+  AsciiTable table("Communication accounting (parameter-exchange channel)");
+  table.set_header({"Method", "Up MB", "Down MB", "Msgs", "Up comp.",
+                    "Down comp.", "Sim latency s"});
+  for (const MethodResult& row : rows) {
+    const ChannelStats& c = row.comm;
+    if (c.uplink_messages == 0 && c.downlink_messages == 0) continue;
+    table.add_row({row.method, AsciiTable::fmt(c.uplink_mb()),
+                   AsciiTable::fmt(c.downlink_mb()),
+                   std::to_string(c.uplink_messages + c.downlink_messages),
+                   AsciiTable::fmt(c.uplink_compression()) + "x",
+                   AsciiTable::fmt(c.downlink_compression()) + "x",
+                   AsciiTable::fmt(c.simulated_latency_s, 1)});
+  }
+  return table;
+}
+
 }  // namespace fleda

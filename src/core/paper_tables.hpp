@@ -24,4 +24,9 @@ AsciiTable render_accuracy_table(const std::string& title,
 // gain, fine-tuning vs local gain (the "11%" figure), gap to central.
 AsciiTable render_headline_summary(const std::vector<MethodResult>& rows);
 
+// Communication accounting per method: cumulative uplink/downlink MB,
+// message counts, compression ratio vs fp32, and simulated transfer
+// latency. Non-federated baselines (all-zero stats) are skipped.
+AsciiTable render_comm_table(const std::vector<MethodResult>& rows);
+
 }  // namespace fleda

@@ -18,9 +18,11 @@ class AlphaPortionSync : public FederatedAlgorithm {
 
   std::string name() const override { return "FedProx + alpha-Portion Sync"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   double alpha_;

@@ -10,9 +10,9 @@ AssignedClustering AssignedClustering::paper_assignment() {
   return AssignedClustering({0, 0, 0, 1, 1, 1, 2, 2, 3});
 }
 
-std::vector<ModelParameters> AssignedClustering::run(
+std::vector<ModelParameters> AssignedClustering::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts) {
+    const FLRunOptions& opts, Channel& channel) {
   if (assignment_.size() != clients.size()) {
     throw std::invalid_argument(
         "AssignedClustering: assignment size != #clients");
@@ -37,7 +37,7 @@ std::vector<ModelParameters> AssignedClustering::run(
           &cluster_models[static_cast<std::size_t>(assignment_[k])]);
     }
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client);
+        parallel_local_updates(clients, deployed, opts.client, channel);
 
     for (int c = 0; c < num_clusters; ++c) {
       std::vector<std::size_t> members;

@@ -19,9 +19,11 @@ class AssignedClustering : public FederatedAlgorithm {
 
   std::string name() const override { return "Assigned Clustering"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   std::vector<int> assignment_;

@@ -11,9 +11,11 @@ class FedAvg : public FederatedAlgorithm {
  public:
   std::string name() const override { return "FedAvg"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 };
 
 }  // namespace fleda

@@ -13,13 +13,15 @@ class FedProx : public FederatedAlgorithm {
  public:
   std::string name() const override { return "FedProx"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
-
   // The final aggregated global model of the last run (useful for
   // personalization stages built on top of FedProx).
   const ModelParameters& global_model() const { return global_; }
+
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   ModelParameters global_;

@@ -19,9 +19,11 @@ class FedProxLG : public FederatedAlgorithm {
 
   std::string name() const override { return "FedProx-LG"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   std::function<bool(const std::string&)> is_local_;

@@ -4,10 +4,12 @@
 
 namespace fleda {
 
-std::vector<ModelParameters> FineTune::run(std::vector<Client>& clients,
-                                           const ModelFactory& factory,
-                                           const FLRunOptions& opts) {
-  std::vector<ModelParameters> finals = base_->run(clients, factory, opts);
+std::vector<ModelParameters> FineTune::run_rounds(std::vector<Client>& clients,
+                                                  const ModelFactory& factory,
+                                                  const FLRunOptions& opts,
+                                                  Channel& channel) {
+  std::vector<ModelParameters> finals =
+      run_rounds_of(*base_, clients, factory, opts, channel);
 
   parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {

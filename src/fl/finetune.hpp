@@ -21,9 +21,13 @@ class FineTune : public FederatedAlgorithm {
     return base_->name() + " + Fine-tuning";
   }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
+ protected:
+  // Runs the base algorithm's rounds on the shared channel, then each
+  // client fine-tunes locally (no further communication).
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   std::unique_ptr<FederatedAlgorithm> base_;

@@ -6,9 +6,10 @@
 
 namespace fleda {
 
-std::vector<ModelParameters> IFCA::run(std::vector<Client>& clients,
-                                       const ModelFactory& factory,
-                                       const FLRunOptions& opts) {
+std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
+                                              const ModelFactory& factory,
+                                              const FLRunOptions& opts,
+                                              Channel& channel) {
   if (num_clusters_ <= 0) throw std::invalid_argument("IFCA: C <= 0");
   Rng rng(opts.seed);
 
@@ -23,36 +24,56 @@ std::vector<ModelParameters> IFCA::run(std::vector<Client>& clients,
 
   const std::vector<double> weights = Server::client_weights(clients);
   assignment_.assign(clients.size(), 0);
+  const std::size_t C = static_cast<std::size_t>(num_clusters_);
 
   for (int r = 0; r < opts.rounds; ++r) {
-    // 1) Cluster selection: lowest training loss among the C models.
+    // 1) Selection broadcast: IFCA ships ALL C cluster models to every
+    // client each round (its dominant communication cost — billed as
+    // K*C downlink messages, one wave per cluster model so each
+    // client's C serial downloads count toward round latency). Clients
+    // select on what they decode.
+    std::vector<std::shared_ptr<const ModelParameters>> received;  // [c]
+    received.reserve(C);
+    for (std::size_t c = 0; c < C; ++c) {
+      std::vector<const ModelParameters*> wave(clients.size(),
+                                               &cluster_models[c]);
+      received.push_back(channel.broadcast(wave).front());
+    }
+
+    // 2) Cluster selection: lowest training loss among the C models.
     parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
       for (std::size_t k = begin; k < end; ++k) {
         double best_loss = 1e300;
         int best_c = 0;
-        for (int c = 0; c < num_clusters_; ++c) {
+        for (std::size_t c = 0; c < C; ++c) {
           const double loss = clients[k].evaluate_train_loss(
-              cluster_models[static_cast<std::size_t>(c)], selection_batches_);
+              *received[c], selection_batches_);
           if (loss < best_loss) {
             best_loss = loss;
-            best_c = c;
+            best_c = static_cast<int>(c);
           }
         }
         assignment_[k] = best_c;
       }
     });
 
-    // 2) Local training of the chosen cluster model.
+    // 3) Local training of the chosen cluster model — already on the
+    // client from the selection broadcast, so no second download.
     std::vector<const ModelParameters*> deployed;
     deployed.reserve(clients.size());
     for (std::size_t k = 0; k < clients.size(); ++k) {
       deployed.push_back(
-          &cluster_models[static_cast<std::size_t>(assignment_[k])]);
+          received[static_cast<std::size_t>(assignment_[k])].get());
     }
     std::vector<ModelParameters> updates =
         parallel_local_updates(clients, deployed, opts.client);
 
-    // 3) Per-cluster aggregation over this round's members.
+    // 4) Uplink through the channel; the decoded deployment is the
+    // shared delta reference.
+    updates = channel.collect(updates, deployed);
+    channel.end_round();
+
+    // 5) Per-cluster aggregation over this round's members.
     for (int c = 0; c < num_clusters_; ++c) {
       std::vector<std::size_t> members;
       for (std::size_t k = 0; k < clients.size(); ++k) {

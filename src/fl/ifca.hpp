@@ -17,12 +17,14 @@ class IFCA : public FederatedAlgorithm {
 
   std::string name() const override { return "IFCA"; }
 
-  std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                   const ModelFactory& factory,
-                                   const FLRunOptions& opts) override;
-
   // Cluster chosen by each client in the final round.
   const std::vector<int>& final_assignment() const { return assignment_; }
+
+ protected:
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          Channel& channel) override;
 
  private:
   int num_clusters_;

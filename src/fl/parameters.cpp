@@ -58,8 +58,13 @@ bool ModelParameters::structurally_equal(const ModelParameters& other) const {
 ModelParameters ModelParameters::weighted_average(
     const std::vector<const ModelParameters*>& snapshots,
     const std::vector<double>& weights) {
-  if (snapshots.empty() || snapshots.size() != weights.size()) {
-    throw std::invalid_argument("weighted_average: bad arguments");
+  if (snapshots.empty()) {
+    throw std::invalid_argument("weighted_average: no snapshots");
+  }
+  if (snapshots.size() != weights.size()) {
+    throw std::invalid_argument(
+        "weighted_average: " + std::to_string(snapshots.size()) +
+        " snapshots but " + std::to_string(weights.size()) + " weights");
   }
   double total = 0.0;
   for (double w : weights) {

@@ -15,6 +15,11 @@ std::vector<double> Server::client_weights(const std::vector<Client>& clients) {
 
 ModelParameters Server::aggregate(const std::vector<ModelParameters>& updates,
                                   const std::vector<double>& weights) {
+  if (updates.size() != weights.size()) {
+    throw std::invalid_argument(
+        "Server::aggregate: " + std::to_string(updates.size()) +
+        " updates but " + std::to_string(weights.size()) + " weights");
+  }
   std::vector<const ModelParameters*> ptrs;
   ptrs.reserve(updates.size());
   for (const auto& u : updates) ptrs.push_back(&u);
@@ -27,6 +32,11 @@ ModelParameters Server::aggregate_subset(
     const std::vector<std::size_t>& members) {
   if (members.empty()) {
     throw std::invalid_argument("aggregate_subset: no members");
+  }
+  if (updates.size() != weights.size()) {
+    throw std::invalid_argument(
+        "Server::aggregate_subset: " + std::to_string(updates.size()) +
+        " updates but " + std::to_string(weights.size()) + " weights");
   }
   std::vector<const ModelParameters*> ptrs;
   std::vector<double> w;

@@ -6,6 +6,22 @@
 
 namespace fleda {
 
+std::vector<ModelParameters> FederatedAlgorithm::run(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts) {
+  Channel channel(opts.comm);
+  std::vector<ModelParameters> finals =
+      run_rounds(clients, factory, opts, channel);
+  if (opts.comm_stats != nullptr) *opts.comm_stats = channel.stats();
+  return finals;
+}
+
+std::vector<ModelParameters> FederatedAlgorithm::run_rounds_of(
+    FederatedAlgorithm& algo, std::vector<Client>& clients,
+    const ModelFactory& factory, const FLRunOptions& opts, Channel& channel) {
+  return algo.run_rounds(clients, factory, opts, channel);
+}
+
 std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
     std::vector<Client>& clients,
     const std::vector<const ModelParameters*>& deployed,
@@ -20,6 +36,34 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
     }
   });
   return updates;
+}
+
+std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
+    std::vector<Client>& clients,
+    const std::vector<const ModelParameters*>& deployed,
+    const ClientTrainConfig& cfg, Channel& channel) {
+  if (clients.size() != deployed.size()) {
+    throw std::invalid_argument("parallel_local_updates: size mismatch");
+  }
+  // Downlink: clients train from what they decode, not from the
+  // server-side snapshot — a lossy codec's error feeds into training.
+  const std::vector<std::shared_ptr<const ModelParameters>> received =
+      channel.broadcast(deployed);
+  std::vector<ModelParameters> updates(clients.size());
+  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      updates[k] = clients[k].local_update(*received[k], cfg);
+    }
+  });
+  // Uplink: the decoded deployment is the shared reference for delta
+  // codecs (both sides hold it).
+  std::vector<const ModelParameters*> references;
+  references.reserve(received.size());
+  for (const auto& r : received) references.push_back(r.get());
+  std::vector<ModelParameters> collected =
+      channel.collect(updates, references);
+  channel.end_round();
+  return collected;
 }
 
 }  // namespace fleda

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 
@@ -19,6 +20,14 @@ struct FLRunOptions {
   int rounds = 50;  // R
   ClientTrainConfig client;
   std::uint64_t seed = 1;  // initialization seed for global model(s)
+  // Parameter-exchange transport: every deployment/upload of the round
+  // loop goes through a Channel built from this config. The default
+  // (Fp32 both ways) is lossless and bit-identical to a direct
+  // exchange, only metered.
+  CommConfig comm;
+  // Optional out-param: filled with the run's cumulative channel
+  // statistics (bytes, messages, simulated latency) before run returns.
+  ChannelStats* comm_stats = nullptr;
   // Optional progress hook: (round, per-client deployed parameters).
   std::function<void(int, const std::vector<ModelParameters>&)> on_round;
 };
@@ -30,19 +39,46 @@ class FederatedAlgorithm {
   virtual std::string name() const = 0;
 
   // Runs the full decentralized training; returns per-client final
-  // models (size == clients.size()).
-  virtual std::vector<ModelParameters> run(std::vector<Client>& clients,
-                                           const ModelFactory& factory,
-                                           const FLRunOptions& opts) = 0;
+  // models (size == clients.size()). Owns the channel lifecycle
+  // (template method): builds a Channel from opts.comm, hands it to
+  // run_rounds, and exports its cumulative stats to opts.comm_stats —
+  // so no algorithm can forget the accounting.
+  std::vector<ModelParameters> run(std::vector<Client>& clients,
+                                   const ModelFactory& factory,
+                                   const FLRunOptions& opts);
 
  protected:
+  // Algorithm body: R rounds of parameter exchange over `channel`.
+  virtual std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, Channel& channel) = 0;
+
+  // Lets wrapper algorithms (FineTune) run their base algorithm's
+  // rounds on the shared outer channel despite protected access.
+  static std::vector<ModelParameters> run_rounds_of(
+      FederatedAlgorithm& algo, std::vector<Client>& clients,
+      const ModelFactory& factory, const FLRunOptions& opts,
+      Channel& channel);
+
   // Runs local_update on every client in parallel (each client only
   // touches its own model and data). deployed[k] is what client k
-  // starts from this round.
+  // starts from this round. This is the direct, unmetered path — kept
+  // for baselines and as the reference the channel path is tested
+  // against.
   static std::vector<ModelParameters> parallel_local_updates(
       std::vector<Client>& clients,
       const std::vector<const ModelParameters*>& deployed,
       const ClientTrainConfig& cfg);
+
+  // Channel path: one full exchange round. Broadcasts deployed[k] down
+  // the channel, trains each client from what it decoded, collects the
+  // updates back up (delta codecs encode against the decoded
+  // deployment), closes the round's accounting entry, and returns the
+  // server-side view of the updates.
+  static std::vector<ModelParameters> parallel_local_updates(
+      std::vector<Client>& clients,
+      const std::vector<const ModelParameters*>& deployed,
+      const ClientTrainConfig& cfg, Channel& channel);
 };
 
 }  // namespace fleda

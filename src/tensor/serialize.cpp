@@ -12,6 +12,27 @@ constexpr char kMagic[4] = {'F', 'L', 'T', '1'};
 
 }  // namespace
 
+Shape shape_from_dims(std::uint32_t rank, const std::int64_t* dims) {
+  if (rank > static_cast<std::uint32_t>(Shape::kMaxRank)) {
+    throw std::runtime_error("shape_from_dims: bad rank");
+  }
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    if (dims[i] < 0) throw std::runtime_error("shape_from_dims: bad dim");
+  }
+  switch (rank) {
+    case 0:
+      return Shape{};
+    case 1:
+      return Shape::of(dims[0]);
+    case 2:
+      return Shape::of(dims[0], dims[1]);
+    case 3:
+      return Shape::of(dims[0], dims[1], dims[2]);
+    default:
+      return Shape::of(dims[0], dims[1], dims[2], dims[3]);
+  }
+}
+
 void write_tensor(std::ostream& out, const Tensor& t) {
   out.write(kMagic, 4);
   std::uint32_t rank = static_cast<std::uint32_t>(t.shape().rank());
@@ -41,25 +62,7 @@ Tensor read_tensor(std::istream& in) {
     in.read(reinterpret_cast<char*>(&dims[i]), sizeof(std::int64_t));
     if (!in || dims[i] < 0) throw std::runtime_error("read_tensor: bad dim");
   }
-  Shape shape;
-  switch (rank) {
-    case 0:
-      shape = Shape{};
-      break;
-    case 1:
-      shape = Shape::of(dims[0]);
-      break;
-    case 2:
-      shape = Shape::of(dims[0], dims[1]);
-      break;
-    case 3:
-      shape = Shape::of(dims[0], dims[1], dims[2]);
-      break;
-    default:
-      shape = Shape::of(dims[0], dims[1], dims[2], dims[3]);
-      break;
-  }
-  Tensor t(shape);
+  Tensor t(shape_from_dims(rank, dims));
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
   if (!in) throw std::runtime_error("read_tensor: truncated payload");

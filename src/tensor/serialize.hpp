@@ -13,6 +13,11 @@ namespace fleda {
 void write_tensor(std::ostream& out, const Tensor& t);
 Tensor read_tensor(std::istream& in);
 
+// Rebuilds a Shape from deserialized rank/dims, validating rank <=
+// Shape::kMaxRank and dims >= 0; throws std::runtime_error otherwise.
+// Shared by the FLT1 tensor reader and the comm FLC1 wire format.
+Shape shape_from_dims(std::uint32_t rank, const std::int64_t* dims);
+
 // File convenience wrappers; throw std::runtime_error on I/O failure.
 void save_tensor(const std::string& path, const Tensor& t);
 Tensor load_tensor(const std::string& path);
