@@ -21,7 +21,7 @@ class DpFedProx : public FederatedAlgorithm {
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override {
+                                          FederationSim& sim) override {
     Rng init_rng(opts.seed);
     RoutabilityModelPtr init = factory(init_rng);
     ModelParameters global = ModelParameters::from_model(*init);
@@ -31,7 +31,7 @@ class DpFedProx : public FederatedAlgorithm {
     for (int r = 0; r < opts.rounds; ++r) {
       std::vector<const ModelParameters*> deployed(clients.size(), &global);
       std::vector<ModelParameters> updates =
-          parallel_local_updates(clients, deployed, opts.client, channel);
+          parallel_local_updates(clients, deployed, opts.client, sim);
       for (ModelParameters& update : updates) {
         privatize_update(update, global, dp_, noise_rng);
       }

@@ -1,0 +1,172 @@
+// Microbenchmark for the src/sim/ event engine.
+//
+// Part 1 measures raw event-loop throughput: a million timestamped
+// no-op events pushed through EventQueue/SimClock, reported as
+// events/sec of host time.
+//
+// Part 2 is the straggler demonstration from the ISSUE acceptance
+// criteria: 9 synthetic clients, one of them computing 10x slower.
+// Synchronous FedAvg pays the straggler every round; AsyncFedAvg
+// (FedBuff-style buffer, polynomial staleness discount) keeps
+// aggregating from the fast eight. The bench reports the simulated
+// wall-clock each method needs to reach the sync run's final average
+// AUC minus 0.01, and exits non-zero unless async gets there in at
+// most half the sync run's simulated time.
+//
+// Output is one JSON object per line, easy to diff/collect in CI.
+#include <cstdio>
+#include <vector>
+
+#include "fl/async_fedavg.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/synthetic.hpp"
+#include "models/registry.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/profile.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace fleda {
+namespace {
+
+// --- part 1: event-loop throughput -----------------------------------
+
+double bench_event_loop(std::uint64_t num_events) {
+  SimClock clock;
+  EventQueue queue;
+  Rng rng(7);
+  std::uint64_t fired = 0;
+  Timer timer;
+  // Two waves of scheduling (half up front, half from inside events)
+  // exercises both the bulk-push and the reentrant path.
+  const std::uint64_t half = num_events / 2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    const double t = rng.uniform(0.0, 1e3);
+    queue.schedule(t, [&fired, t, &queue, &clock] {
+      ++fired;
+      queue.schedule(t + 1e3, [&fired] { ++fired; });
+      (void)clock;
+    });
+  }
+  queue.run_all(clock, /*max_events=*/4 * num_events);
+  const double seconds = timer.seconds();
+  std::printf(
+      "{\"bench\":\"event_loop\",\"events\":%llu,\"events_per_sec\":%.0f}\n",
+      static_cast<unsigned long long>(queue.processed()),
+      static_cast<double>(queue.processed()) / seconds);
+  return static_cast<double>(fired) / seconds;
+}
+
+// --- part 2: sync vs async under a 10x straggler ---------------------
+
+constexpr std::size_t kClients = 9;
+
+SyntheticWorld make_world(std::uint64_t seed) {
+  SyntheticWorldOptions options;
+  options.num_clients = kClients;
+  options.threshold_base = 0.35f;
+  options.threshold_step = 0.04f;
+  return make_synthetic_world(seed, options);
+}
+
+double average_auc(std::vector<Client>& clients,
+                   const std::vector<ModelParameters>& models) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < clients.size(); ++k) {
+    acc += clients[k].evaluate_test_auc(models[k]);
+  }
+  return acc / static_cast<double>(clients.size());
+}
+
+struct Series {
+  std::vector<double> time_s;  // cumulative simulated time per round
+  std::vector<double> auc;     // average AUC after that round
+  double total_time_s = 0.0;
+};
+
+// First simulated instant the series reaches `target` AUC; -1 if never.
+double time_to_target(const Series& series, double target) {
+  for (std::size_t i = 0; i < series.auc.size(); ++i) {
+    if (series.auc[i] >= target) return series.time_s[i];
+  }
+  return -1.0;
+}
+
+FLRunOptions base_options(int rounds) {
+  FLRunOptions opts;
+  opts.rounds = rounds;
+  opts.client.steps = 4;
+  opts.client.batch_size = 2;
+  opts.client.learning_rate = 1e-3;
+  opts.client.mu = 0.0;
+  opts.seed = 99;
+  // One 10x straggler among 9 clients; compute dominates the round.
+  opts.sim = SimConfig::with_straggler(kClients, 0, 10.0);
+  opts.sim.step_time_s = 0.5;
+  return opts;
+}
+
+Series run_series(FederatedAlgorithm& algo, int rounds) {
+  SyntheticWorld w = make_world(4242);
+  FLRunOptions opts = base_options(rounds);
+  ChannelStats comm;
+  SimReport report;
+  opts.comm_stats = &comm;
+  opts.sim_report = &report;
+  Series series;
+  opts.on_round = [&](int, const std::vector<ModelParameters>& models) {
+    series.auc.push_back(average_auc(w.clients, models));
+  };
+  algo.run(w.clients, w.factory, opts);
+  double elapsed = 0.0;
+  for (std::size_t i = 0; i < series.auc.size(); ++i) {
+    if (i < comm.rounds.size()) elapsed += comm.rounds[i].simulated_latency_s;
+    series.time_s.push_back(elapsed);
+  }
+  series.total_time_s = report.total_time_s;
+  return series;
+}
+
+int bench_straggler() {
+  const int sync_rounds = 10;
+  FedAvg sync_algo;
+  const Series sync = run_series(sync_algo, sync_rounds);
+  const double final_auc = sync.auc.back();
+  const double target = final_auc - 0.01;
+
+  AsyncConfig config;
+  config.buffer_size = 4;
+  config.server_mix = 0.5;
+  config.poly_exponent = 1.0;
+  AsyncFedAvg async_algo(config);
+  // Aggregation budget: enough buffered rounds to pass the target well
+  // before the sync run's horizon.
+  const Series async = run_series(async_algo, 5 * sync_rounds);
+
+  const double t_sync = time_to_target(sync, target);
+  const double t_async = time_to_target(async, target);
+  const bool pass = t_async >= 0.0 && t_async <= 0.5 * sync.total_time_s;
+
+  std::printf(
+      "{\"bench\":\"straggler\",\"method\":\"sync\",\"final_auc\":%.4f,"
+      "\"sim_time_s\":%.1f,\"time_to_target_s\":%.1f}\n",
+      final_auc, sync.total_time_s, t_sync);
+  std::printf(
+      "{\"bench\":\"straggler\",\"method\":\"async\",\"final_auc\":%.4f,"
+      "\"sim_time_s\":%.1f,\"time_to_target_s\":%.1f,"
+      "\"target_auc\":%.4f,\"speedup_vs_sync_total\":%.2f,\"pass\":%s}\n",
+      async.auc.back(), async.total_time_s, t_async, target,
+      t_async > 0.0 ? sync.total_time_s / t_async : 0.0,
+      pass ? "true" : "false");
+  return pass ? 0 : 1;
+}
+
+int main_impl() {
+  bench_event_loop(1'000'000);
+  return bench_straggler();
+}
+
+}  // namespace
+}  // namespace fleda
+
+int main() { return fleda::main_impl(); }

@@ -43,21 +43,57 @@ Channel::Channel(const CommConfig& config)
   }
 }
 
-void Channel::bill_downlink(std::uint64_t bytes, std::uint64_t raw_bytes) {
+void Channel::set_links(std::vector<ClientLink> links) {
+  // Non-positive rates / negative latencies are the documented
+  // "inherit the CommConfig default" sentinels; with_defaults
+  // normalizes them wherever a link is actually used.
+  links_ = std::move(links);
+}
+
+ClientLink ClientLink::with_defaults(const CommConfig& config) const {
+  ClientLink l = *this;
+  if (l.uplink_bytes_per_sec <= 0.0) {
+    l.uplink_bytes_per_sec = config.uplink_bytes_per_sec;
+  }
+  if (l.downlink_bytes_per_sec <= 0.0) {
+    l.downlink_bytes_per_sec = config.downlink_bytes_per_sec;
+  }
+  if (l.per_message_latency_s < 0.0) {
+    l.per_message_latency_s = config.per_message_latency_s;
+  }
+  return l;
+}
+
+ClientLink Channel::link(std::size_t k) const {
+  return (k < links_.size() ? links_[k] : ClientLink{})
+      .with_defaults(config_);
+}
+
+void Channel::ensure_clients(std::size_t n) {
+  if (traffic_.size() < n) traffic_.resize(n);
+  if (residuals_.size() < n) residuals_.resize(n);
+}
+
+void Channel::bill_downlink(std::size_t client, std::uint64_t bytes,
+                            std::uint64_t raw_bytes) {
   stats_.downlink_bytes += bytes;
   stats_.raw_downlink_bytes += raw_bytes;
   stats_.downlink_messages += 1;
   current_round_.downlink_bytes += bytes;
   current_round_.downlink_messages += 1;
+  traffic_[client].downlink_bytes += bytes;
+  traffic_[client].downlink_messages += 1;
 }
 
-void Channel::bill_uplink(std::uint64_t bytes, std::uint64_t raw_bytes) {
+void Channel::bill_uplink(std::size_t client, std::uint64_t bytes,
+                          std::uint64_t raw_bytes) {
   stats_.uplink_bytes += bytes;
   stats_.raw_uplink_bytes += raw_bytes;
   stats_.uplink_messages += 1;
   current_round_.uplink_bytes += bytes;
   current_round_.uplink_messages += 1;
-  round_uplink_total_ += bytes;
+  traffic_[client].uplink_bytes += bytes;
+  traffic_[client].uplink_messages += 1;
 }
 
 std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
@@ -82,19 +118,43 @@ std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
           downlink_codec_->decode(blob, nullptr));
     }
   });
+  ensure_clients(deployed.size());
   std::vector<std::shared_ptr<const ModelParameters>> received;
   received.reserve(deployed.size());
-  std::uint64_t wave_max = 0;
-  for (const ModelParameters* p : deployed) {
-    const auto& [bytes, raw] = sizes[index.at(p)];
-    bill_downlink(bytes, raw);
-    wave_max = std::max(wave_max, bytes);
-    received.push_back(decoded[index.at(p)]);
+  for (std::size_t k = 0; k < deployed.size(); ++k) {
+    const auto& [bytes, raw] = sizes[index.at(deployed[k])];
+    bill_downlink(k, bytes, raw);
+    received.push_back(decoded[index.at(deployed[k])]);
   }
-  // One wave of parallel downloads: the round's serial downlink time
-  // grows by the largest message in the wave.
-  round_downlink_serial_ += wave_max;
   return received;
+}
+
+ModelParameters Channel::uplink_roundtrip(std::size_t client,
+                                          const ModelParameters& update,
+                                          const ModelParameters* reference,
+                                          std::uint64_t* bytes,
+                                          std::uint64_t* raw_bytes) {
+  const bool feedback = config_.error_feedback && uplink_codec_->lossy();
+  // Error feedback: transmit update + residual, then keep what the
+  // codec dropped this round for the next one.
+  const ModelParameters* to_send = &update;
+  ModelParameters compensated;
+  if (feedback && !residuals_[client].empty() &&
+      residuals_[client].structurally_equal(update)) {
+    compensated = update;
+    compensated.add_scaled(residuals_[client], 1.0);
+    to_send = &compensated;
+  }
+  const ByteBuffer blob = uplink_codec_->encode(*to_send, reference);
+  *bytes = blob.size();
+  *raw_bytes = raw_wire_bytes(update);
+  ModelParameters decoded = uplink_codec_->decode(blob, reference);
+  if (feedback) {
+    ModelParameters residual = *to_send;
+    residual.add_scaled(decoded, -1.0);
+    residuals_[client] = std::move(residual);
+  }
+  return decoded;
 }
 
 std::vector<ModelParameters> Channel::collect(
@@ -106,34 +166,72 @@ std::vector<ModelParameters> Channel::collect(
         " updates vs " + std::to_string(references.size()) + " references");
   }
   const std::size_t n = updates.size();
+  ensure_clients(n);
   std::vector<ModelParameters> received(n);
   std::vector<std::uint64_t> bytes(n, 0), raw(n, 0);
   // Encode client-side and decode server-side per update; the pool
-  // parallelizes across clients (stats are reduced serially below).
+  // parallelizes across clients (distinct client indices touch
+  // distinct residual slots, so the error-feedback state is safe; the
+  // stats are reduced serially below).
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
-      const ByteBuffer blob = uplink_codec_->encode(updates[k], references[k]);
-      bytes[k] = blob.size();
-      raw[k] = raw_wire_bytes(updates[k]);
-      received[k] = uplink_codec_->decode(blob, references[k]);
+      received[k] = uplink_roundtrip(k, updates[k], references[k], &bytes[k],
+                                     &raw[k]);
     }
   });
-  for (std::size_t k = 0; k < n; ++k) bill_uplink(bytes[k], raw[k]);
+  for (std::size_t k = 0; k < n; ++k) bill_uplink(k, bytes[k], raw[k]);
   return received;
 }
 
+std::shared_ptr<const ModelParameters> Channel::send_down(
+    std::size_t client, const ModelParameters& snapshot,
+    std::uint64_t* bytes_out) {
+  ensure_clients(client + 1);
+  const ByteBuffer blob = downlink_codec_->encode(snapshot, nullptr);
+  bill_downlink(client, blob.size(), raw_wire_bytes(snapshot));
+  if (bytes_out != nullptr) *bytes_out = blob.size();
+  return std::make_shared<const ModelParameters>(
+      downlink_codec_->decode(blob, nullptr));
+}
+
+ModelParameters Channel::send_up(std::size_t client,
+                                 const ModelParameters& update,
+                                 const ModelParameters* reference,
+                                 std::uint64_t* bytes_out) {
+  ensure_clients(client + 1);
+  std::uint64_t bytes = 0, raw = 0;
+  ModelParameters decoded =
+      uplink_roundtrip(client, update, reference, &bytes, &raw);
+  bill_uplink(client, bytes, raw);
+  if (bytes_out != nullptr) *bytes_out = bytes;
+  return decoded;
+}
+
 void Channel::end_round() {
+  // Standalone latency model: every client's transfers are serial on
+  // its own link, clients run in parallel — the round costs as much as
+  // its slowest client's traffic.
+  double slowest = 0.0;
+  for (std::size_t k = 0; k < traffic_.size(); ++k) {
+    const ClientRoundTraffic& t = traffic_[k];
+    const ClientLink l = link(k);
+    const double serial =
+        static_cast<double>(t.downlink_messages + t.uplink_messages) *
+            l.per_message_latency_s +
+        static_cast<double>(t.downlink_bytes) / l.downlink_bytes_per_sec +
+        static_cast<double>(t.uplink_bytes) / l.uplink_bytes_per_sec;
+    slowest = std::max(slowest, serial);
+  }
+  end_round(slowest);
+}
+
+void Channel::end_round(double simulated_duration_s) {
   current_round_.round = static_cast<int>(stats_.rounds.size());
-  current_round_.simulated_latency_s =
-      2.0 * config_.per_message_latency_s +
-      static_cast<double>(round_downlink_serial_) /
-          config_.downlink_bytes_per_sec +
-      static_cast<double>(round_uplink_total_) / config_.uplink_bytes_per_sec;
+  current_round_.simulated_latency_s = simulated_duration_s;
   stats_.simulated_latency_s += current_round_.simulated_latency_s;
   stats_.rounds.push_back(current_round_);
   current_round_ = RoundCommStats{};
-  round_downlink_serial_ = 0;
-  round_uplink_total_ = 0;
+  std::fill(traffic_.begin(), traffic_.end(), ClientRoundTraffic{});
 }
 
 }  // namespace fleda

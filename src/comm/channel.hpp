@@ -1,17 +1,23 @@
 // Channel: the metered transport every parameter exchange of the round
 // loop goes through. The server broadcasts deployed snapshots down it
 // and collects client updates up it; each message is encoded with the
-// configured codec, byte/message counts are accumulated per round and
-// cumulatively, and a simple latency model turns bytes into simulated
-// wall-clock seconds.
+// configured codec and byte/message counts are accumulated per client,
+// per round, and cumulatively.
 //
-// Latency model per round (documented, deliberately simple): each
-// broadcast() call is one wave of parallel client downloads costing
-// max(message bytes in the wave) / downlink_Bps; waves within a round
-// are serial (a client that must fetch C models pays C waves). Uplink
-// ingress at the developer is shared, so the round pays
-// sum_k(bytes_k) / uplink_Bps, plus a fixed per_message_latency per
-// direction.
+// Latency model: each client k owns a link (ClientLink) — uplink and
+// downlink rates plus a fixed per-message cost — defaulting to the
+// shared CommConfig rates when no per-client links are set. A client's
+// transfers within a round are serial on its own link; different
+// clients transfer in parallel. Standalone (no simulation engine), a
+// round costs max over clients of that client's serial transfer time;
+// under src/sim the engine schedules per-client transfer completions
+// as events on the virtual clock and closes the round with the
+// engine-computed duration via end_round(duration).
+//
+// Error feedback (CommConfig::error_feedback): with a lossy uplink
+// codec, each client keeps the residual update - decode(encode(update))
+// and adds it to the next round's update before encoding, so small but
+// consistent components are not silently dropped forever.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +32,34 @@ struct CommConfig {
   CodecKind uplink = CodecKind::kFp32;    // client -> server updates
   CodecKind downlink = CodecKind::kFp32;  // server -> client deployments
   double topk_fraction = 0.05;            // TopKDeltaCodec keep fraction
-  // Simulated transport parameters (defaults: 100 Mbit/s up,
-  // 500 Mbit/s down, 50 ms fixed cost per direction).
+  // Shared default link parameters (100 Mbit/s up, 500 Mbit/s down,
+  // 50 ms fixed cost per message); per-client overrides come from
+  // Channel::set_links / ClientProfile.
   double uplink_bytes_per_sec = 12.5e6;
   double downlink_bytes_per_sec = 62.5e6;
   double per_message_latency_s = 0.05;
+  // Client-side error-feedback accumulators for lossy uplink codecs.
+  bool error_feedback = false;
+};
+
+// Per-client link parameters; non-positive rate / negative latency
+// inherit the CommConfig shared defaults.
+struct ClientLink {
+  double uplink_bytes_per_sec = 0.0;
+  double downlink_bytes_per_sec = 0.0;
+  double per_message_latency_s = -1.0;
+
+  // This link with every "inherit" sentinel replaced by the CommConfig
+  // shared default — the single place the fallback rule lives.
+  ClientLink with_defaults(const CommConfig& config) const;
+};
+
+// One client's traffic within the current round.
+struct ClientRoundTraffic {
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_messages = 0;
+  std::uint64_t uplink_messages = 0;
 };
 
 struct RoundCommStats {
@@ -66,6 +95,12 @@ class Channel {
  public:
   explicit Channel(const CommConfig& config);
 
+  // Installs per-client links (index = client). An empty vector (the
+  // default) means every client uses the CommConfig shared rates.
+  void set_links(std::vector<ClientLink> links);
+  // Client k's link with CommConfig defaults filled in.
+  ClientLink link(std::size_t k) const;
+
   // Server -> clients. deployed[k] is the snapshot addressed to client
   // k; repeated pointers (a shared global model) are encoded once but
   // billed per recipient, like a broadcast. Returns what each client
@@ -84,27 +119,60 @@ class Channel {
       const std::vector<ModelParameters>& updates,
       const std::vector<const ModelParameters*>& references);
 
-  // Closes the current round's accounting entry (called once per FL
-  // round by the round loop).
+  // Per-message primitives for event-driven schedules (AsyncFedAvg):
+  // one deployment to / one update from a single client, billed to
+  // that client's round traffic. bytes_out (optional) receives the
+  // encoded wire size so the caller can schedule the transfer
+  // completion on the simulation clock.
+  std::shared_ptr<const ModelParameters> send_down(
+      std::size_t client, const ModelParameters& snapshot,
+      std::uint64_t* bytes_out = nullptr);
+  ModelParameters send_up(std::size_t client, const ModelParameters& update,
+                          const ModelParameters* reference,
+                          std::uint64_t* bytes_out = nullptr);
+
+  // Closes the current round's accounting entry. The no-argument form
+  // derives the round's simulated latency from the per-client links
+  // (max over clients of serial transfer time — no compute); the
+  // other form records an engine-computed duration (transfers +
+  // compute + availability on the virtual clock).
   void end_round();
+  void end_round(double simulated_duration_s);
+
+  // Per-client traffic of the round currently being accumulated.
+  const std::vector<ClientRoundTraffic>& round_traffic() const {
+    return traffic_;
+  }
 
   const CommConfig& config() const { return config_; }
   const ChannelStats& stats() const { return stats_; }
 
  private:
-  void bill_downlink(std::uint64_t bytes, std::uint64_t raw_bytes);
-  void bill_uplink(std::uint64_t bytes, std::uint64_t raw_bytes);
+  void ensure_clients(std::size_t n);
+  void bill_downlink(std::size_t client, std::uint64_t bytes,
+                     std::uint64_t raw_bytes);
+  void bill_uplink(std::size_t client, std::uint64_t bytes,
+                   std::uint64_t raw_bytes);
+  // Client-side encode (with error feedback) + server-side decode of
+  // one update. Not thread-safe across the same client index; safe for
+  // distinct clients.
+  ModelParameters uplink_roundtrip(std::size_t client,
+                                   const ModelParameters& update,
+                                   const ModelParameters* reference,
+                                   std::uint64_t* bytes,
+                                   std::uint64_t* raw_bytes);
 
   CommConfig config_;
   std::unique_ptr<ParameterCodec> uplink_codec_;
   std::unique_ptr<ParameterCodec> downlink_codec_;
+  std::vector<ClientLink> links_;
   ChannelStats stats_;
   RoundCommStats current_round_;
-  // Serial downlink bytes this round (sum over broadcast waves of the
-  // largest message in the wave) and total uplink bytes (shared
-  // ingress model).
-  std::uint64_t round_downlink_serial_ = 0;
-  std::uint64_t round_uplink_total_ = 0;
+  std::vector<ClientRoundTraffic> traffic_;
+  // Per-client error-feedback residuals (empty snapshot = no residual
+  // yet); only populated when config_.error_feedback and the uplink
+  // codec is lossy.
+  std::vector<ModelParameters> residuals_;
 };
 
 }  // namespace fleda

@@ -44,6 +44,10 @@ class ParameterCodec {
   virtual std::string name() const = 0;
   virtual CodecKind kind() const = 0;
 
+  // Whether decode(encode(x)) can differ from x. Drives the channel's
+  // error-feedback accumulators: lossless codecs have no residual.
+  bool lossy() const { return kind() != CodecKind::kFp32; }
+
   // Encodes `params` to a self-describing byte buffer. `reference` is
   // the snapshot the receiver is known to hold (the deployed model);
   // nullptr means "no shared state" (delta codecs fall back to a delta

@@ -18,6 +18,11 @@ struct MethodResult {
   // Cumulative channel accounting for the run that produced this row
   // (all-zero for non-federated baselines, which exchange nothing).
   ChannelStats comm;
+  // Simulated wall-clock of the run on the virtual federation clock
+  // (transfers + local compute + availability; zero for baselines,
+  // which never touch the engine).
+  double sim_time_s = 0.0;
+  std::uint64_t sim_events = 0;
 };
 
 // Evaluates per-client final models: finals[k] on clients[k].

@@ -37,6 +37,8 @@ std::string to_string(TrainingMethod method) {
       return "Assigned Clustering";
     case TrainingMethod::kAlphaPortionSync:
       return "FedProx + a-Portion Sync";
+    case TrainingMethod::kAsyncFedAvg:
+      return "AsyncFedAvg";
   }
   return "?";
 }
@@ -120,6 +122,7 @@ FLRunOptions Experiment::make_run_options() const {
   opts.client = make_client_config();
   opts.seed = config_.train_seed;
   opts.comm = config_.comm;
+  opts.sim = config_.sim;
   return opts;
 }
 
@@ -143,6 +146,8 @@ std::unique_ptr<FederatedAlgorithm> Experiment::make_algorithm(
     case TrainingMethod::kAlphaPortionSync:
       return std::make_unique<AlphaPortionSync>(
           config_.hparams.alpha_portion);
+    case TrainingMethod::kAsyncFedAvg:
+      return std::make_unique<AsyncFedAvg>(config_.async);
     default:
       throw std::invalid_argument(
           "make_algorithm: not a federated method: " + to_string(method));
@@ -176,19 +181,23 @@ MethodResult Experiment::run_method(TrainingMethod method) {
   } else {
     std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
     ChannelStats comm;
+    SimReport sim;
     FLRunOptions opts = make_run_options();
     opts.comm_stats = &comm;
+    opts.sim_report = &sim;
     std::vector<ModelParameters> finals = algo->run(clients, factory_, opts);
     result = evaluate_per_client(to_string(method), clients, finals);
     result.comm = std::move(comm);
+    result.sim_time_s = sim.total_time_s;
+    result.sim_events = sim.events_processed;
   }
 
   FLEDA_LOG_INFO(
       "%s [%s]: avg AUC %.3f (%.1fs; comm up %.2f MB / down %.2f MB, "
-      "sim latency %.1fs)",
+      "sim clock %.1fs)",
       to_string(method).c_str(), to_string(config_.model).c_str(),
       result.average, timer.seconds(), result.comm.uplink_mb(),
-      result.comm.downlink_mb(), result.comm.simulated_latency_s);
+      result.comm.downlink_mb(), result.sim_time_s);
   return result;
 }
 
@@ -209,12 +218,21 @@ std::vector<Experiment::ConvergencePoint> Experiment::run_convergence(
     throw std::invalid_argument("run_convergence: federated methods only");
   }
   std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
+  ChannelStats comm;
   FLRunOptions opts = make_run_options();
+  opts.comm_stats = &comm;
   opts.on_round = [&](int round, const std::vector<ModelParameters>& models) {
     MethodResult r = evaluate_per_client("round", clients, models);
-    series.push_back({round, r.average});
+    series.push_back({round, r.average, 0.0});
   };
   algo->run(clients, factory_, opts);
+  // Channel round i closes when round i's exchange completes; its
+  // cumulative latency is the simulated wall-clock at that point.
+  double elapsed = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i < comm.rounds.size()) elapsed += comm.rounds[i].simulated_latency_s;
+    series[i].sim_time_s = elapsed;
+  }
   return series;
 }
 

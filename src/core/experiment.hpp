@@ -18,6 +18,7 @@
 
 #include "core/evaluation.hpp"
 #include "data/generator.hpp"
+#include "fl/async_fedavg.hpp"
 #include "fl/trainer.hpp"
 #include "models/registry.hpp"
 #include "util/config.hpp"
@@ -34,6 +35,7 @@ enum class TrainingMethod {
   kFedProxFineTune,     // FedProx + Fine-tuning
   kAssignedClustering,  //
   kAlphaPortionSync,    // FedProx + alpha-Portion Sync
+  kAsyncFedAvg,         // staleness-aware buffered async (extension)
 };
 
 std::string to_string(TrainingMethod method);
@@ -49,6 +51,11 @@ struct ExperimentConfig {
   // Parameter-exchange transport (codecs + simulated link) used by all
   // federated methods; defaults to lossless fp32 both ways.
   CommConfig comm;
+  // Client heterogeneity and compute-time model for the simulated
+  // federation clock (default: homogeneous, always-online clients).
+  SimConfig sim;
+  // AsyncFedAvg knobs (buffer size, staleness discount).
+  AsyncConfig async;
   // Optional directory for caching the generated dataset across runs.
   std::string cache_dir;
 };
@@ -67,10 +74,12 @@ class Experiment {
   // All eight table rows, in paper order.
   std::vector<MethodResult> run_paper_table();
 
-  // Round-by-round average test AUC (for the convergence bench).
+  // Round-by-round average test AUC (for the convergence bench), with
+  // the simulated wall-clock at which each round completed.
   struct ConvergencePoint {
     int round = 0;
     double average_auc = 0.0;
+    double sim_time_s = 0.0;
   };
   std::vector<ConvergencePoint> run_convergence(TrainingMethod method);
 

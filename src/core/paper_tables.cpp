@@ -83,9 +83,10 @@ AsciiTable render_headline_summary(const std::vector<MethodResult>& rows) {
 }
 
 AsciiTable render_comm_table(const std::vector<MethodResult>& rows) {
-  AsciiTable table("Communication accounting (parameter-exchange channel)");
+  AsciiTable table(
+      "Communication accounting (parameter-exchange channel + sim clock)");
   table.set_header({"Method", "Up MB", "Down MB", "Msgs", "Up comp.",
-                    "Down comp.", "Sim latency s"});
+                    "Down comp.", "Rounds s", "Sim clock s"});
   for (const MethodResult& row : rows) {
     const ChannelStats& c = row.comm;
     if (c.uplink_messages == 0 && c.downlink_messages == 0) continue;
@@ -94,7 +95,8 @@ AsciiTable render_comm_table(const std::vector<MethodResult>& rows) {
                    std::to_string(c.uplink_messages + c.downlink_messages),
                    AsciiTable::fmt(c.uplink_compression()) + "x",
                    AsciiTable::fmt(c.downlink_compression()) + "x",
-                   AsciiTable::fmt(c.simulated_latency_s, 1)});
+                   AsciiTable::fmt(c.simulated_latency_s, 1),
+                   AsciiTable::fmt(row.sim_time_s, 1)});
   }
   return table;
 }

@@ -6,7 +6,7 @@ namespace fleda {
 
 std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, Channel& channel) {
+    const FLRunOptions& opts, FederationSim& sim) {
   if (alpha_ < 0.0 || alpha_ > 1.0) {
     throw std::invalid_argument("AlphaPortionSync: alpha outside [0,1]");
   }
@@ -25,7 +25,7 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     std::vector<const ModelParameters*> deployed_ptrs;
     for (const auto& d : deployed) deployed_ptrs.push_back(&d);
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed_ptrs, opts.client, channel);
+        parallel_local_updates(clients, deployed_ptrs, opts.client, sim);
 
     // Customized aggregation per client.
     for (std::size_t k = 0; k < clients.size(); ++k) {

@@ -12,7 +12,7 @@ AssignedClustering AssignedClustering::paper_assignment() {
 
 std::vector<ModelParameters> AssignedClustering::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, Channel& channel) {
+    const FLRunOptions& opts, FederationSim& sim) {
   if (assignment_.size() != clients.size()) {
     throw std::invalid_argument(
         "AssignedClustering: assignment size != #clients");
@@ -37,7 +37,7 @@ std::vector<ModelParameters> AssignedClustering::run_rounds(
           &cluster_models[static_cast<std::size_t>(assignment_[k])]);
     }
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client, channel);
+        parallel_local_updates(clients, deployed, opts.client, sim);
 
     for (int c = 0; c < num_clusters; ++c) {
       std::vector<std::size_t> members;

@@ -1,0 +1,181 @@
+#include "fl/async_fedavg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+namespace {
+
+// One buffered client update awaiting aggregation.
+struct Buffered {
+  ModelParameters delta;  // server view of (update - dispatched model)
+  double weight = 0.0;    // n_k
+  int dispatched_version = 0;
+};
+
+}  // namespace
+
+AsyncFedAvg::AsyncFedAvg(AsyncConfig config) : config_(config) {
+  if (config_.buffer_size <= 0) {
+    throw std::invalid_argument("AsyncFedAvg: buffer_size <= 0");
+  }
+  if (config_.server_mix <= 0.0) {
+    throw std::invalid_argument("AsyncFedAvg: server_mix <= 0");
+  }
+  if (config_.poly_exponent < 0.0 || config_.constant_factor <= 0.0) {
+    throw std::invalid_argument("AsyncFedAvg: discount must be positive");
+  }
+}
+
+double AsyncFedAvg::staleness_weight(const AsyncConfig& config,
+                                     int staleness) {
+  if (staleness <= 0) return 1.0;
+  switch (config.discount) {
+    case StalenessDiscount::kPolynomial:
+      return std::pow(1.0 + static_cast<double>(staleness),
+                      -config.poly_exponent);
+    case StalenessDiscount::kConstant:
+      return config.constant_factor;
+  }
+  return 1.0;
+}
+
+std::vector<ModelParameters> AsyncFedAvg::run_rounds(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts, FederationSim& sim) {
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = factory(rng);
+  ModelParameters global = ModelParameters::from_model(*init);
+
+  ClientTrainConfig cfg = opts.client;
+  cfg.mu = 0.0;  // async FedAvg: plain local SGD, like FedAvg
+
+  SimEngine& engine = sim.engine();
+  Channel& channel = sim.channel();
+  const std::vector<double> weights = Server::client_weights(clients);
+
+  int version = 0;  // completed aggregations, the async "round" counter
+  std::vector<Buffered> buffer;
+  buffer.reserve(static_cast<std::size_t>(config_.buffer_size));
+  double last_aggregate_time = 0.0;
+
+  auto aggregate = [&]() {
+    // global += eta * sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i).
+    ModelParameters acc;
+    double total = 0.0;
+    for (const Buffered& b : buffer) {
+      const double u =
+          b.weight * staleness_weight(config_, version - b.dispatched_version);
+      if (acc.empty()) {
+        acc = b.delta;
+        acc.scale(u);
+      } else {
+        acc.add_scaled(b.delta, u);
+      }
+      total += u;
+    }
+    if (buffer.empty() || total <= 0.0) {
+      throw std::runtime_error(
+          "AsyncFedAvg: aggregation with empty buffer or zero total "
+          "discounted weight (" +
+          std::to_string(buffer.size()) + " buffered, total weight " +
+          std::to_string(total) + ")");
+    }
+    acc.scale(config_.server_mix / total);
+    global.add_scaled(acc, 1.0);
+    buffer.clear();
+    ++version;
+    engine.note(SimEventKind::kAggregate, /*client=*/-1, version - 1);
+    // Channel round entry = one aggregation interval, so cumulative
+    // per-round latency stays meaningful for time-to-target plots.
+    channel.end_round(engine.now() - last_aggregate_time);
+    last_aggregate_time = engine.now();
+    if (opts.on_round) {
+      opts.on_round(version - 1,
+                    std::vector<ModelParameters>(clients.size(), global));
+    }
+  };
+
+  // Dispatches the current global model to client k and schedules its
+  // download -> train -> upload event chain. Called at t = 0 for every
+  // client and again from each client's delivery (or drop) event.
+  std::function<void(std::size_t)> dispatch = [&](std::size_t k) {
+    if (version >= opts.rounds) return;  // run over: stop feeding work
+    const double now = engine.now();
+    const ClientProfile& profile = engine.profile(k);
+    const double start = profile.next_online(now);
+    if (!std::isfinite(start)) {
+      // Permanently offline from here on: never rejoins the federation.
+      engine.note(SimEventKind::kDropped, static_cast<int>(k), version);
+      return;
+    }
+    std::uint64_t down_bytes = 0;
+    std::shared_ptr<const ModelParameters> received =
+        channel.send_down(k, global, &down_bytes);
+    const int dispatched_version = version;
+    engine.note(SimEventKind::kDispatch, static_cast<int>(k),
+                dispatched_version);
+    const double down_done =
+        start + engine.download_duration(k, 1, down_bytes);
+    engine.schedule(
+        down_done, SimEventKind::kDownlinkDone, static_cast<int>(k),
+        dispatched_version, [&, k, received, dispatched_version] {
+          if (version >= opts.rounds) return;  // drain without training
+          const double compute_done =
+              engine.now() + engine.compute_duration(k, cfg.steps);
+          engine.schedule(
+              compute_done, SimEventKind::kComputeDone, static_cast<int>(k),
+              dispatched_version, [&, k, received, dispatched_version] {
+                if (version >= opts.rounds) return;
+                // Train now, on what this client decoded at dispatch;
+                // the client's rng advances in event order, which is
+                // deterministic for a fixed schedule.
+                ModelParameters update = clients[k].local_update(*received,
+                                                                 cfg);
+                std::uint64_t up_bytes = 0;
+                ModelParameters server_view =
+                    channel.send_up(k, update, received.get(), &up_bytes);
+                ModelParameters delta = std::move(server_view);
+                delta.add_scaled(*received, -1.0);
+                const double up_done =
+                    engine.now() + engine.upload_duration(k, 1, up_bytes);
+                const ClientProfile& p = engine.profile(k);
+                if (!p.is_online(up_done)) {
+                  // Dropout: the client goes offline before delivery —
+                  // the update is lost; rejoin when the window ends.
+                  engine.schedule(up_done, SimEventKind::kDropped,
+                                  static_cast<int>(k), dispatched_version,
+                                  [&, k] { dispatch(k); });
+                  return;
+                }
+                engine.schedule(
+                    up_done, SimEventKind::kUplinkDone, static_cast<int>(k),
+                    dispatched_version,
+                    [&, k, dispatched_version, delta = std::move(delta)] {
+                      if (version >= opts.rounds) return;
+                      buffer.push_back(
+                          Buffered{delta, weights[k], dispatched_version});
+                      if (static_cast<int>(buffer.size()) >=
+                          config_.buffer_size) {
+                        aggregate();
+                      }
+                      dispatch(k);
+                    });
+              });
+        });
+  };
+
+  for (std::size_t k = 0; k < clients.size(); ++k) dispatch(k);
+  engine.run_all();
+
+  if (version < opts.rounds) {
+    throw std::runtime_error(
+        "AsyncFedAvg: event queue drained after " + std::to_string(version) +
+        "/" + std::to_string(opts.rounds) +
+        " aggregations — not enough client updates (all clients "
+        "permanently offline?)");
+  }
+  return std::vector<ModelParameters>(clients.size(), global);
+}
+
+}  // namespace fleda

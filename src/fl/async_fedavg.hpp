@@ -1,0 +1,61 @@
+// AsyncFedAvg: buffered asynchronous FedAvg in the FedBuff tradition
+// (Nguyen et al. 2022), the staleness-aware aggregation the ROADMAP
+// names on top of the metered Channel. There is no round barrier:
+// every client runs its own download -> train -> upload loop as events
+// on the simulation clock, the server buffers incoming updates, and
+// once `buffer_size` updates are waiting it folds their
+// staleness-discounted deltas into the global model and bumps the
+// model version. Slow clients (stragglers) therefore delay nobody —
+// their updates simply arrive with higher staleness and a smaller
+// discount weight — and clients that drop offline mid-upload lose the
+// update and rejoin when their window ends.
+#pragma once
+
+#include "fl/trainer.hpp"
+
+namespace fleda {
+
+enum class StalenessDiscount : std::uint8_t {
+  // s(tau) = (1 + tau)^-exponent — FedBuff's polynomial discount.
+  kPolynomial = 0,
+  // s(0) = 1, s(tau >= 1) = constant_factor.
+  kConstant = 1,
+};
+
+struct AsyncConfig {
+  // Server aggregates once this many updates are buffered. 1 recovers
+  // fully-async FedAsync; #clients approximates a soft sync round.
+  int buffer_size = 3;
+  // Server mixing rate eta on the discounted average delta. Below 1.0
+  // damps the cohort-to-cohort oscillation a small buffer induces
+  // (each aggregation sees only buffer_size of the clients).
+  double server_mix = 0.5;
+  StalenessDiscount discount = StalenessDiscount::kPolynomial;
+  double poly_exponent = 1.0;    // kPolynomial
+  double constant_factor = 0.3;  // kConstant
+};
+
+class AsyncFedAvg : public FederatedAlgorithm {
+ public:
+  explicit AsyncFedAvg(AsyncConfig config = {});
+
+  std::string name() const override { return "AsyncFedAvg"; }
+  const AsyncConfig& config() const { return config_; }
+
+  // Discount weight for an update trained on a model `staleness`
+  // versions behind the current one.
+  static double staleness_weight(const AsyncConfig& config, int staleness);
+
+ protected:
+  // opts.rounds counts server aggregations (the async analogue of a
+  // round); opts.client.mu is forced to 0 like FedAvg's.
+  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
+                                          const ModelFactory& factory,
+                                          const FLRunOptions& opts,
+                                          FederationSim& sim) override;
+
+ private:
+  AsyncConfig config_;
+};
+
+}  // namespace fleda

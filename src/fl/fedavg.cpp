@@ -5,7 +5,7 @@ namespace fleda {
 std::vector<ModelParameters> FedAvg::run_rounds(std::vector<Client>& clients,
                                                 const ModelFactory& factory,
                                                 const FLRunOptions& opts,
-                                                Channel& channel) {
+                                                FederationSim& sim) {
   Rng rng(opts.seed);
   RoutabilityModelPtr init = factory(rng);
   ModelParameters global = ModelParameters::from_model(*init);
@@ -17,7 +17,7 @@ std::vector<ModelParameters> FedAvg::run_rounds(std::vector<Client>& clients,
   for (int r = 0; r < opts.rounds; ++r) {
     std::vector<const ModelParameters*> deployed(clients.size(), &global);
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, cfg, channel);
+        parallel_local_updates(clients, deployed, cfg, sim);
     global = Server::aggregate(updates, weights);
     if (opts.on_round) {
       opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));

@@ -15,7 +15,7 @@ class FedAvg : public FederatedAlgorithm {
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override;
+                                          FederationSim& sim) override;
 };
 
 }  // namespace fleda

@@ -21,7 +21,7 @@ class FedProx : public FederatedAlgorithm {
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override;
+                                          FederationSim& sim) override;
 
  private:
   ModelParameters global_;

@@ -4,7 +4,7 @@ namespace fleda {
 
 std::vector<ModelParameters> FedProxLG::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, Channel& channel) {
+    const FLRunOptions& opts, FederationSim& sim) {
   Rng rng(opts.seed);
   RoutabilityModelPtr init = factory(rng);
   ModelParameters global = ModelParameters::from_model(*init);
@@ -26,7 +26,7 @@ std::vector<ModelParameters> FedProxLG::run_rounds(
     for (const auto& d : deployed_storage) deployed.push_back(&d);
 
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client, channel);
+        parallel_local_updates(clients, deployed, opts.client, sim);
 
     // Server aggregates only the global part; local parts stay put.
     ModelParameters aggregate = Server::aggregate(updates, weights);

@@ -23,7 +23,7 @@ class FedProxLG : public FederatedAlgorithm {
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override;
+                                          FederationSim& sim) override;
 
  private:
   std::function<bool(const std::string&)> is_local_;

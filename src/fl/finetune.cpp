@@ -7,9 +7,9 @@ namespace fleda {
 std::vector<ModelParameters> FineTune::run_rounds(std::vector<Client>& clients,
                                                   const ModelFactory& factory,
                                                   const FLRunOptions& opts,
-                                                  Channel& channel) {
+                                                  FederationSim& sim) {
   std::vector<ModelParameters> finals =
-      run_rounds_of(*base_, clients, factory, opts, channel);
+      run_rounds_of(*base_, clients, factory, opts, sim);
 
   parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
@@ -17,6 +17,9 @@ std::vector<ModelParameters> FineTune::run_rounds(std::vector<Client>& clients,
                                        opts.client);
     }
   });
+  // Personalization happens client-side (no exchange) but still takes
+  // simulated compute time.
+  sim.finish_local_round(finetune_steps_);
   return finals;
 }
 

@@ -22,12 +22,13 @@ class FineTune : public FederatedAlgorithm {
   }
 
  protected:
-  // Runs the base algorithm's rounds on the shared channel, then each
-  // client fine-tunes locally (no further communication).
+  // Runs the base algorithm's rounds on the shared simulation, then
+  // each client fine-tunes locally (no further communication; the
+  // personalization steps still advance the virtual clock).
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override;
+                                          FederationSim& sim) override;
 
  private:
   std::unique_ptr<FederatedAlgorithm> base_;

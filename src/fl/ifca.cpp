@@ -9,7 +9,7 @@ namespace fleda {
 std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
                                               const ModelFactory& factory,
                                               const FLRunOptions& opts,
-                                              Channel& channel) {
+                                              FederationSim& sim) {
   if (num_clusters_ <= 0) throw std::invalid_argument("IFCA: C <= 0");
   Rng rng(opts.seed);
 
@@ -37,7 +37,7 @@ std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
     for (std::size_t c = 0; c < C; ++c) {
       std::vector<const ModelParameters*> wave(clients.size(),
                                                &cluster_models[c]);
-      received.push_back(channel.broadcast(wave).front());
+      received.push_back(sim.channel().broadcast(wave).front());
     }
 
     // 2) Cluster selection: lowest training loss among the C models.
@@ -69,9 +69,10 @@ std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
         parallel_local_updates(clients, deployed, opts.client);
 
     // 4) Uplink through the channel; the decoded deployment is the
-    // shared delta reference.
-    updates = channel.collect(updates, deployed);
-    channel.end_round();
+    // shared delta reference, then the barrier policy prices the round
+    // (each client's C serial downloads are in its billed traffic).
+    updates = sim.channel().collect(updates, deployed);
+    sim.finish_sync_round(opts.client.steps);
 
     // 5) Per-cluster aggregation over this round's members.
     for (int c = 0; c < num_clusters_; ++c) {

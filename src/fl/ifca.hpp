@@ -24,7 +24,7 @@ class IFCA : public FederatedAlgorithm {
   std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
                                           const ModelFactory& factory,
                                           const FLRunOptions& opts,
-                                          Channel& channel) override;
+                                          FederationSim& sim) override;
 
  private:
   int num_clusters_;

@@ -1,5 +1,6 @@
 #include "fl/parameters.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
@@ -68,11 +69,17 @@ ModelParameters ModelParameters::weighted_average(
   }
   double total = 0.0;
   for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("weighted_average: w < 0");
+    if (!(w >= 0.0)) {  // negatives and NaNs both fail this
+      throw std::invalid_argument(
+          "weighted_average: weight " + std::to_string(w) +
+          " is negative or non-finite");
+    }
     total += w;
   }
-  if (total <= 0.0) {
-    throw std::invalid_argument("weighted_average: zero total weight");
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    throw std::invalid_argument(
+        "weighted_average: total weight " + std::to_string(total) +
+        " — refusing to divide (would emit NaN parameters)");
   }
 
   ModelParameters result = *snapshots[0];

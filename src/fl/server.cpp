@@ -31,7 +31,9 @@ ModelParameters Server::aggregate_subset(
     const std::vector<double>& weights,
     const std::vector<std::size_t>& members) {
   if (members.empty()) {
-    throw std::invalid_argument("aggregate_subset: no members");
+    throw std::invalid_argument(
+        "Server::aggregate_subset: empty member set — cannot average zero "
+        "clients (did a cluster lose all its members?)");
   }
   if (updates.size() != weights.size()) {
     throw std::invalid_argument(

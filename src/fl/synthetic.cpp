@@ -1,0 +1,47 @@
+#include "fl/synthetic.hpp"
+
+namespace fleda {
+
+ClientDataset make_synthetic_client(int id, float threshold,
+                                    std::uint64_t seed, int train_samples,
+                                    int test_samples) {
+  Rng rng(seed);
+  ClientDataset ds;
+  ds.client_id = id;
+  auto make_sample = [&]() {
+    Sample s;
+    s.features = Tensor(Shape{2, 8, 8});
+    s.label = Tensor(Shape{1, 8, 8});
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const float v = static_cast<float>(rng.uniform());
+      s.features[i] = v;
+      s.features[64 + i] = static_cast<float>(rng.uniform());
+      s.label[i] = v > threshold ? 1.0f : 0.0f;
+    }
+    return s;
+  };
+  for (int i = 0; i < train_samples; ++i) ds.train.push_back(make_sample());
+  for (int i = 0; i < test_samples; ++i) ds.test.push_back(make_sample());
+  return ds;
+}
+
+SyntheticWorld make_synthetic_world(std::uint64_t seed,
+                                    const SyntheticWorldOptions& options) {
+  SyntheticWorld w;
+  for (std::size_t k = 0; k < options.num_clients; ++k) {
+    w.data.push_back(make_synthetic_client(
+        static_cast<int>(k + 1),
+        options.threshold_base +
+            options.threshold_step * static_cast<float>(k),
+        seed + k + 1, options.train_samples, options.test_samples));
+  }
+  w.factory = make_model_factory(ModelKind::kFLNet, 2);
+  Rng rng(seed);
+  for (std::size_t k = 0; k < w.data.size(); ++k) {
+    w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.factory,
+                           rng.fork(k));
+  }
+  return w;
+}
+
+}  // namespace fleda

@@ -1,0 +1,44 @@
+// Tiny synthetic federated worlds for tests and microbenches: each
+// client owns a handful of 2-channel 8x8 samples whose label map
+// thresholds channel 0 at a per-client cutoff (heterogeneity across
+// clients), paired with FLNet-shaped models. Cheap enough for
+// seconds-long deterministic runs; NOT the paper dataset (that lives
+// in src/data/generator.*).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/client.hpp"
+#include "models/registry.hpp"
+
+namespace fleda {
+
+struct SyntheticWorldOptions {
+  std::size_t num_clients = 3;
+  // Client k's label threshold: base + step * k.
+  float threshold_base = 0.4f;
+  float threshold_step = 0.05f;
+  int train_samples = 6;
+  int test_samples = 3;
+};
+
+// One client's dataset: `train/test` samples with label[i] =
+// features0[i] > threshold.
+ClientDataset make_synthetic_client(int id, float threshold,
+                                    std::uint64_t seed, int train_samples = 6,
+                                    int test_samples = 3);
+
+// A ready-to-run federation. Client k is seeded with `seed + k + 1`
+// and its model rng forked from Rng(seed); moving the struct is safe
+// (clients point into the data vector's stable heap storage).
+struct SyntheticWorld {
+  std::vector<ClientDataset> data;
+  std::vector<Client> clients;
+  ModelFactory factory;
+};
+
+SyntheticWorld make_synthetic_world(std::uint64_t seed,
+                                    const SyntheticWorldOptions& options = {});
+
+}  // namespace fleda

@@ -10,16 +10,22 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
     std::vector<Client>& clients, const ModelFactory& factory,
     const FLRunOptions& opts) {
   Channel channel(opts.comm);
+  channel.set_links(links_from_profiles(opts.sim, clients.size()));
+  SimEngine engine(opts.sim, opts.comm, clients.size());
+  engine.set_trace_enabled(opts.trace);
+  FederationSim sim(channel, engine);
   std::vector<ModelParameters> finals =
-      run_rounds(clients, factory, opts, channel);
+      run_rounds(clients, factory, opts, sim);
   if (opts.comm_stats != nullptr) *opts.comm_stats = channel.stats();
+  if (opts.sim_report != nullptr) *opts.sim_report = engine.report();
   return finals;
 }
 
 std::vector<ModelParameters> FederatedAlgorithm::run_rounds_of(
     FederatedAlgorithm& algo, std::vector<Client>& clients,
-    const ModelFactory& factory, const FLRunOptions& opts, Channel& channel) {
-  return algo.run_rounds(clients, factory, opts, channel);
+    const ModelFactory& factory, const FLRunOptions& opts,
+    FederationSim& sim) {
+  return algo.run_rounds(clients, factory, opts, sim);
 }
 
 std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
@@ -41,10 +47,11 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
 std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
     std::vector<Client>& clients,
     const std::vector<const ModelParameters*>& deployed,
-    const ClientTrainConfig& cfg, Channel& channel) {
+    const ClientTrainConfig& cfg, FederationSim& sim) {
   if (clients.size() != deployed.size()) {
     throw std::invalid_argument("parallel_local_updates: size mismatch");
   }
+  Channel& channel = sim.channel();
   // Downlink: clients train from what they decode, not from the
   // server-side snapshot — a lossy codec's error feeds into training.
   const std::vector<std::shared_ptr<const ModelParameters>> received =
@@ -62,7 +69,9 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
   for (const auto& r : received) references.push_back(r.get());
   std::vector<ModelParameters> collected =
       channel.collect(updates, references);
-  channel.end_round();
+  // Barrier policy: the round's events run on the virtual clock and
+  // the round closes at the slowest client's upload.
+  sim.finish_sync_round(cfg.steps);
   return collected;
 }
 

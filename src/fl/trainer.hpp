@@ -4,20 +4,29 @@
 // one final model per client — for non-personalized algorithms all K
 // entries are the same global model, for personalized ones they
 // differ.
+//
+// Every run executes on the simulation engine (src/sim): parameter
+// exchanges go through a metered Channel with per-client links, and
+// round completion is a scheduling policy on the virtual clock — the
+// synchronous algorithms use the FederationSim barrier policy, the
+// asynchronous ones (AsyncFedAvg) schedule their own events. With
+// default (homogeneous, always-online) profiles and a lossless
+// channel, the sync path is bit-identical to a direct exchange — the
+// engine only attaches simulated time to it.
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "comm/channel.hpp"
 #include "fl/client.hpp"
 #include "fl/server.hpp"
+#include "sim/federation.hpp"
 
 namespace fleda {
 
 struct FLRunOptions {
-  int rounds = 50;  // R
+  int rounds = 50;  // R (for AsyncFedAvg: number of server aggregations)
   ClientTrainConfig client;
   std::uint64_t seed = 1;  // initialization seed for global model(s)
   // Parameter-exchange transport: every deployment/upload of the round
@@ -25,9 +34,17 @@ struct FLRunOptions {
   // (Fp32 both ways) is lossless and bit-identical to a direct
   // exchange, only metered.
   CommConfig comm;
+  // Client heterogeneity (compute speed, per-client links,
+  // availability) and the compute-time model for the virtual clock.
+  // Default: homogeneous, always-online reference clients.
+  SimConfig sim;
   // Optional out-param: filled with the run's cumulative channel
   // statistics (bytes, messages, simulated latency) before run returns.
   ChannelStats* comm_stats = nullptr;
+  // Optional out-param: the simulation summary (total virtual time,
+  // event count, and — when `trace` is set — the full event trace).
+  SimReport* sim_report = nullptr;
+  bool trace = false;
   // Optional progress hook: (round, per-client deployed parameters).
   std::function<void(int, const std::vector<ModelParameters>&)> on_round;
 };
@@ -39,26 +56,27 @@ class FederatedAlgorithm {
   virtual std::string name() const = 0;
 
   // Runs the full decentralized training; returns per-client final
-  // models (size == clients.size()). Owns the channel lifecycle
-  // (template method): builds a Channel from opts.comm, hands it to
-  // run_rounds, and exports its cumulative stats to opts.comm_stats —
-  // so no algorithm can forget the accounting.
+  // models (size == clients.size()). Owns the simulation lifecycle
+  // (template method): builds a Channel from opts.comm and a SimEngine
+  // from opts.sim, hands the bound FederationSim to run_rounds, and
+  // exports the cumulative channel stats / sim report afterwards — so
+  // no algorithm can forget the accounting.
   std::vector<ModelParameters> run(std::vector<Client>& clients,
                                    const ModelFactory& factory,
                                    const FLRunOptions& opts);
 
  protected:
-  // Algorithm body: R rounds of parameter exchange over `channel`.
+  // Algorithm body: R rounds of parameter exchange scheduled on `sim`.
   virtual std::vector<ModelParameters> run_rounds(
       std::vector<Client>& clients, const ModelFactory& factory,
-      const FLRunOptions& opts, Channel& channel) = 0;
+      const FLRunOptions& opts, FederationSim& sim) = 0;
 
   // Lets wrapper algorithms (FineTune) run their base algorithm's
-  // rounds on the shared outer channel despite protected access.
+  // rounds on the shared outer simulation despite protected access.
   static std::vector<ModelParameters> run_rounds_of(
       FederatedAlgorithm& algo, std::vector<Client>& clients,
       const ModelFactory& factory, const FLRunOptions& opts,
-      Channel& channel);
+      FederationSim& sim);
 
   // Runs local_update on every client in parallel (each client only
   // touches its own model and data). deployed[k] is what client k
@@ -70,15 +88,16 @@ class FederatedAlgorithm {
       const std::vector<const ModelParameters*>& deployed,
       const ClientTrainConfig& cfg);
 
-  // Channel path: one full exchange round. Broadcasts deployed[k] down
-  // the channel, trains each client from what it decoded, collects the
-  // updates back up (delta codecs encode against the decoded
-  // deployment), closes the round's accounting entry, and returns the
+  // Sync-barrier exchange round on the simulation engine. Broadcasts
+  // deployed[k] down the channel, trains each client from what it
+  // decoded, collects the updates back up (delta codecs encode against
+  // the decoded deployment), schedules the per-client transfer/compute
+  // events and closes the round at the slowest client. Returns the
   // server-side view of the updates.
   static std::vector<ModelParameters> parallel_local_updates(
       std::vector<Client>& clients,
       const std::vector<const ModelParameters*>& deployed,
-      const ClientTrainConfig& cfg, Channel& channel);
+      const ClientTrainConfig& cfg, FederationSim& sim);
 };
 
 }  // namespace fleda

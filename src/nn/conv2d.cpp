@@ -1,7 +1,8 @@
 #include "nn/conv2d.hpp"
 
-#include <mutex>
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/init.hpp"
 #include "tensor/matmul.hpp"
@@ -111,44 +112,54 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
 
-  // Batch-parallel with per-chunk gradient accumulators merged under a
-  // mutex (grad_input slices are disjoint, dW/db are shared).
-  std::mutex merge_mutex;
-  parallel_for(static_cast<std::size_t>(N), [&](std::size_t nb,
-                                                std::size_t ne) {
+  // Batch-parallel over a FIXED number of slices (independent of the
+  // thread-pool size), each with its own dW/db partial, reduced
+  // serially in slice order below. Both properties matter: a per-chunk
+  // mutex merge would make the float sums depend on chunk boundaries
+  // (pool size) and completion order — the determinism tests compare
+  // runs across pool sizes bit-for-bit.
+  const std::size_t batch = static_cast<std::size_t>(N);
+  const std::size_t slices = std::min<std::size_t>(batch, 16);
+  const std::size_t span = (batch + slices - 1) / slices;
+  std::vector<Tensor> dw_partial(slices, Tensor(weight_.grad.shape()));
+  std::vector<Tensor> db_partial(opts_.bias ? slices : 0,
+                                 Tensor(bias_.grad.shape()));
+  parallel_for(slices, [&](std::size_t sb, std::size_t se) {
     const std::size_t col_elems =
         static_cast<std::size_t>(g.col_rows() * g.col_cols());
     float* cols = thread_scratch(ScratchSlot::kCols, col_elems);
     float* dcols = thread_scratch(ScratchSlot::kColsGrad, col_elems);
-    Tensor dw_local(weight_.grad.shape());
-    Tensor db_local(bias_.grad.shape());
-    for (std::size_t n = nb; n < ne; ++n) {
-      const float* dy =
-          grad_output.data() + static_cast<std::int64_t>(n) * out_stride;
-      // Recompute the column matrix (cheaper than caching per sample).
-      im2col(input.data() + static_cast<std::int64_t>(n) * in_stride, g,
-             cols);
-      // dW += dy [Cout x OHW] * cols^T
-      matmul_bt(dy, cols, dw_local.data(), opts_.out_channels,
-                g.col_cols(), g.col_rows(), /*accumulate=*/true);
-      // dcols = W^T [rows x Cout] * dy [Cout x OHW]
-      matmul_at(weight_.value.data(), dy, dcols, g.col_rows(),
-                opts_.out_channels, g.col_cols());
-      col2im(dcols, g,
-             grad_input.data() + static_cast<std::int64_t>(n) * in_stride);
-      if (opts_.bias) {
-        for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
-          const float* chan = dy + co * OH * OW;
-          double acc = 0.0;
-          for (std::int64_t i = 0; i < OH * OW; ++i) acc += chan[i];
-          db_local[co] += static_cast<float>(acc);
+    for (std::size_t s = sb; s < se; ++s) {
+      for (std::size_t n = s * span; n < std::min(batch, (s + 1) * span);
+           ++n) {
+        const float* dy =
+            grad_output.data() + static_cast<std::int64_t>(n) * out_stride;
+        // Recompute the column matrix (cheaper than caching per sample).
+        im2col(input.data() + static_cast<std::int64_t>(n) * in_stride, g,
+               cols);
+        // dW_s += dy [Cout x OHW] * cols^T
+        matmul_bt(dy, cols, dw_partial[s].data(), opts_.out_channels,
+                  g.col_cols(), g.col_rows(), /*accumulate=*/true);
+        // dcols = W^T [rows x Cout] * dy [Cout x OHW]
+        matmul_at(weight_.value.data(), dy, dcols, g.col_rows(),
+                  opts_.out_channels, g.col_cols());
+        col2im(dcols, g,
+               grad_input.data() + static_cast<std::int64_t>(n) * in_stride);
+        if (opts_.bias) {
+          for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
+            const float* chan = dy + co * OH * OW;
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < OH * OW; ++i) acc += chan[i];
+            db_partial[s][co] += static_cast<float>(acc);
+          }
         }
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    add_inplace(weight_.grad, dw_local);
-    if (opts_.bias) add_inplace(bias_.grad, db_local);
   });
+  for (std::size_t s = 0; s < slices; ++s) {
+    add_inplace(weight_.grad, dw_partial[s]);
+    if (opts_.bias) add_inplace(bias_.grad, db_partial[s]);
+  }
   return grad_input;
 }
 

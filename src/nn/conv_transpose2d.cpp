@@ -1,7 +1,8 @@
 #include "nn/conv_transpose2d.hpp"
 
-#include <mutex>
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/init.hpp"
 #include "tensor/matmul.hpp"
@@ -113,40 +114,49 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
 
-  std::mutex merge_mutex;
-  parallel_for(static_cast<std::size_t>(N), [&](std::size_t nb,
-                                                std::size_t ne) {
+  // Fixed-slice partials, reduced in slice order (see Conv2d::backward
+  // for why a pool-size-dependent mutex merge would be
+  // nondeterministic).
+  const std::size_t batch = static_cast<std::size_t>(N);
+  const std::size_t slices = std::min<std::size_t>(batch, 16);
+  const std::size_t span = (batch + slices - 1) / slices;
+  std::vector<Tensor> dw_partial(slices, Tensor(weight_.grad.shape()));
+  std::vector<Tensor> db_partial(opts_.bias ? slices : 0,
+                                 Tensor(bias_.grad.shape()));
+  parallel_for(slices, [&](std::size_t sb, std::size_t se) {
     float* dcols = thread_scratch(
         ScratchSlot::kColsGrad,
         static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-    Tensor dw_local(weight_.grad.shape());
-    Tensor db_local(bias_.grad.shape());
-    for (std::size_t n = nb; n < ne; ++n) {
-      const float* dy =
-          grad_output.data() + static_cast<std::int64_t>(n) * out_stride;
-      // dcols = im2col(dy) (adjoint of the forward col2im)
-      im2col(dy, g, dcols);
-      // dx = W [Cin x Cout*k*k] * dcols [Cout*k*k x H*W]
-      matmul(weight_.value.data(), dcols,
-             grad_input.data() + static_cast<std::int64_t>(n) * in_stride,
-             opts_.in_channels, g.col_rows(), g.col_cols());
-      // dW += x [Cin x H*W] * dcols^T
-      matmul_bt(input.data() + static_cast<std::int64_t>(n) * in_stride,
-                dcols, dw_local.data(), opts_.in_channels,
-                g.col_cols(), g.col_rows(), /*accumulate=*/true);
-      if (opts_.bias) {
-        for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
-          const float* chan = dy + co * OH * OW;
-          double acc = 0.0;
-          for (std::int64_t i = 0; i < OH * OW; ++i) acc += chan[i];
-          db_local[co] += static_cast<float>(acc);
+    for (std::size_t s = sb; s < se; ++s) {
+      for (std::size_t n = s * span; n < std::min(batch, (s + 1) * span);
+           ++n) {
+        const float* dy =
+            grad_output.data() + static_cast<std::int64_t>(n) * out_stride;
+        // dcols = im2col(dy) (adjoint of the forward col2im)
+        im2col(dy, g, dcols);
+        // dx = W [Cin x Cout*k*k] * dcols [Cout*k*k x H*W]
+        matmul(weight_.value.data(), dcols,
+               grad_input.data() + static_cast<std::int64_t>(n) * in_stride,
+               opts_.in_channels, g.col_rows(), g.col_cols());
+        // dW_s += x [Cin x H*W] * dcols^T
+        matmul_bt(input.data() + static_cast<std::int64_t>(n) * in_stride,
+                  dcols, dw_partial[s].data(), opts_.in_channels,
+                  g.col_cols(), g.col_rows(), /*accumulate=*/true);
+        if (opts_.bias) {
+          for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
+            const float* chan = dy + co * OH * OW;
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < OH * OW; ++i) acc += chan[i];
+            db_partial[s][co] += static_cast<float>(acc);
+          }
         }
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    add_inplace(weight_.grad, dw_local);
-    if (opts_.bias) add_inplace(bias_.grad, db_local);
   });
+  for (std::size_t s = 0; s < slices; ++s) {
+    add_inplace(weight_.grad, dw_partial[s]);
+    if (opts_.bias) add_inplace(bias_.grad, db_partial[s]);
+  }
   return grad_input;
 }
 

@@ -1,0 +1,95 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fleda {
+
+const char* to_string(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kDispatch:
+      return "dispatch";
+    case SimEventKind::kDownlinkDone:
+      return "downlink_done";
+    case SimEventKind::kComputeDone:
+      return "compute_done";
+    case SimEventKind::kUplinkDone:
+      return "uplink_done";
+    case SimEventKind::kDropped:
+      return "dropped";
+    case SimEventKind::kAggregate:
+      return "aggregate";
+    case SimEventKind::kRoundEnd:
+      return "round_end";
+  }
+  return "?";
+}
+
+SimEngine::SimEngine(const SimConfig& config, const CommConfig& comm,
+                     std::size_t num_clients)
+    : config_(config),
+      num_clients_(num_clients),
+      default_link_(ClientLink{}.with_defaults(comm)) {
+  if (config_.step_time_s < 0.0) {
+    throw std::invalid_argument("SimEngine: step_time_s < 0");
+  }
+  resolved_links_.reserve(config_.profiles.size());
+  for (const ClientProfile& p : config_.profiles) {
+    if (p.compute_multiplier <= 0.0) {
+      throw std::invalid_argument("SimEngine: compute_multiplier <= 0");
+    }
+    resolved_links_.push_back(p.link.with_defaults(comm));
+  }
+}
+
+const ClientProfile& SimEngine::profile(std::size_t k) const {
+  return config_.profile(k);
+}
+
+void SimEngine::schedule(double time, SimEventKind kind, int client, int round,
+                         EventFn fn) {
+  queue_.schedule(time, [this, time, kind, client, round,
+                         fn = std::move(fn)] {
+    if (trace_enabled_) trace_.push_back({time, kind, client, round});
+    if (fn) fn();
+  });
+}
+
+void SimEngine::note(SimEventKind kind, int client, int round) {
+  if (trace_enabled_) trace_.push_back({clock_.now(), kind, client, round});
+}
+
+void SimEngine::run_all() { queue_.run_all(clock_); }
+
+const ClientLink& SimEngine::resolved_link(std::size_t k) const {
+  return k < resolved_links_.size() ? resolved_links_[k] : default_link_;
+}
+
+double SimEngine::download_duration(std::size_t k, std::uint64_t messages,
+                                    std::uint64_t bytes) const {
+  const ClientLink& l = resolved_link(k);
+  return static_cast<double>(messages) * l.per_message_latency_s +
+         static_cast<double>(bytes) / l.downlink_bytes_per_sec;
+}
+
+double SimEngine::upload_duration(std::size_t k, std::uint64_t messages,
+                                  std::uint64_t bytes) const {
+  const ClientLink& l = resolved_link(k);
+  return static_cast<double>(messages) * l.per_message_latency_s +
+         static_cast<double>(bytes) / l.uplink_bytes_per_sec;
+}
+
+double SimEngine::compute_duration(std::size_t k, int steps) const {
+  return static_cast<double>(steps) * config_.step_time_s *
+         profile(k).compute_multiplier;
+}
+
+SimReport SimEngine::report() const {
+  SimReport report;
+  report.total_time_s = clock_.now();
+  report.events_processed = queue_.processed();
+  report.trace = trace_;
+  return report;
+}
+
+}  // namespace fleda

@@ -1,0 +1,108 @@
+// SimEngine: the deterministic virtual-clock event engine the
+// federated round loops run on. It owns the SimClock and EventQueue,
+// knows every client's ClientProfile and link rates (per-client
+// overrides falling back to the CommConfig shared defaults), converts
+// message sizes and local-step counts into simulated durations, and
+// records a typed event trace — the artifact the determinism tests
+// compare bit-for-bit across thread-pool sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/profile.hpp"
+
+namespace fleda {
+
+enum class SimEventKind : std::uint8_t {
+  kDispatch = 0,      // server hands a model to a client
+  kDownlinkDone = 1,  // client finished downloading
+  kComputeDone = 2,   // client finished local training
+  kUplinkDone = 3,    // server received the client's update
+  kDropped = 4,       // update lost (client offline at delivery)
+  kAggregate = 5,     // server produced a new global/cluster model
+  kRoundEnd = 6,      // sync barrier released
+};
+
+const char* to_string(SimEventKind kind);
+
+struct SimTraceEntry {
+  double time = 0.0;
+  SimEventKind kind = SimEventKind::kDispatch;
+  int client = -1;  // -1: server-side event
+  int round = -1;   // round / aggregation index, -1 if n/a
+
+  bool operator==(const SimTraceEntry& other) const {
+    return time == other.time && kind == other.kind &&
+           client == other.client && round == other.round;
+  }
+};
+
+// Summary of one simulated run, exported through FLRunOptions.
+struct SimReport {
+  double total_time_s = 0.0;
+  std::uint64_t events_processed = 0;
+  std::vector<SimTraceEntry> trace;  // empty unless tracing was enabled
+};
+
+class SimEngine {
+ public:
+  SimEngine(const SimConfig& config, const CommConfig& comm,
+            std::size_t num_clients);
+
+  double now() const { return clock_.now(); }
+  std::size_t num_clients() const { return num_clients_; }
+  const SimConfig& config() const { return config_; }
+  const ClientProfile& profile(std::size_t k) const;
+
+  // Schedules a traced event: when it fires, the (time, kind, client,
+  // round) tuple is appended to the trace (if enabled) and `fn` — which
+  // may be empty for pure bookkeeping marks — runs.
+  void schedule(double time, SimEventKind kind, int client, int round,
+                EventFn fn = {});
+
+  // Appends a trace entry at the current clock time without scheduling
+  // an event — for actions taken inside another event's callback
+  // (a dispatch decision, an aggregation).
+  void note(SimEventKind kind, int client, int round);
+
+  // Drains the queue, advancing the clock through every event.
+  void run_all();
+  bool run_next() { return queue_.run_next(clock_); }
+  bool idle() const { return queue_.empty(); }
+
+  // Simulated durations -------------------------------------------
+  // msgs * per-message latency + bytes / rate, with client k's link
+  // overrides resolved against the CommConfig defaults (once, at
+  // construction, through ClientLink::with_defaults).
+  double download_duration(std::size_t k, std::uint64_t messages,
+                           std::uint64_t bytes) const;
+  double upload_duration(std::size_t k, std::uint64_t messages,
+                         std::uint64_t bytes) const;
+  // steps * step_time_s * compute_multiplier(k).
+  double compute_duration(std::size_t k, int steps) const;
+
+  // Trace ----------------------------------------------------------
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<SimTraceEntry>& trace() const { return trace_; }
+  std::uint64_t events_processed() const { return queue_.processed(); }
+  SimReport report() const;
+
+ private:
+  const ClientLink& resolved_link(std::size_t k) const;
+
+  SimConfig config_;
+  std::size_t num_clients_ = 0;
+  // Per-client links with the CommConfig defaults already filled in.
+  std::vector<ClientLink> resolved_links_;
+  ClientLink default_link_;
+  SimClock clock_;
+  EventQueue queue_;
+  bool trace_enabled_ = false;
+  std::vector<SimTraceEntry> trace_;
+};
+
+}  // namespace fleda

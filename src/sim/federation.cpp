@@ -1,0 +1,80 @@
+#include "sim/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace fleda {
+
+std::vector<ClientLink> links_from_profiles(const SimConfig& config,
+                                            std::size_t num_clients) {
+  std::vector<ClientLink> links(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    links[k] = config.profile(k).link;
+  }
+  return links;
+}
+
+void FederationSim::finish_sync_round(int steps) {
+  const double t0 = engine_.now();
+  const int round = round_index_++;
+  const std::vector<ClientRoundTraffic>& traffic = channel_.round_traffic();
+  const std::size_t n = std::max(engine_.num_clients(), traffic.size());
+  double barrier = t0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const ClientRoundTraffic t =
+        k < traffic.size() ? traffic[k] : ClientRoundTraffic{};
+    const bool exchanged = t.downlink_messages + t.uplink_messages > 0;
+    if (!exchanged && steps <= 0) continue;
+    const int ki = static_cast<int>(k);
+    // The client only starts once it is online; the sync barrier then
+    // waits for it (dropout stretches the round for everyone — that is
+    // the cost async aggregation removes).
+    const double start = engine_.profile(k).next_online(t0);
+    if (!std::isfinite(start)) {
+      throw std::invalid_argument(
+          "FederationSim: client " + std::to_string(k) +
+          " is permanently offline from t=" + std::to_string(t0) +
+          " — the sync barrier would never release (use AsyncFedAvg or a "
+          "finite offline window)");
+    }
+    const double down_done =
+        start + engine_.download_duration(k, t.downlink_messages,
+                                          t.downlink_bytes);
+    const double compute_done = down_done + engine_.compute_duration(k, steps);
+    const double up_done =
+        compute_done +
+        engine_.upload_duration(k, t.uplink_messages, t.uplink_bytes);
+    engine_.schedule(down_done, SimEventKind::kDownlinkDone, ki, round);
+    engine_.schedule(compute_done, SimEventKind::kComputeDone, ki, round);
+    engine_.schedule(up_done, SimEventKind::kUplinkDone, ki, round);
+    barrier = std::max(barrier, up_done);
+  }
+  engine_.schedule(barrier, SimEventKind::kRoundEnd, /*client=*/-1, round);
+  engine_.run_all();
+  channel_.end_round(engine_.now() - t0);
+}
+
+void FederationSim::finish_local_round(int steps) {
+  const double t0 = engine_.now();
+  const int round = round_index_++;
+  double barrier = t0;
+  for (std::size_t k = 0; k < engine_.num_clients(); ++k) {
+    const double start = engine_.profile(k).next_online(t0);
+    if (!std::isfinite(start)) {
+      throw std::invalid_argument(
+          "FederationSim: client " + std::to_string(k) +
+          " is permanently offline from t=" + std::to_string(t0) +
+          " — the local round would never complete");
+    }
+    const double done = start + engine_.compute_duration(k, steps);
+    engine_.schedule(done, SimEventKind::kComputeDone, static_cast<int>(k),
+                     round);
+    barrier = std::max(barrier, done);
+  }
+  engine_.schedule(barrier, SimEventKind::kRoundEnd, /*client=*/-1, round);
+  engine_.run_all();
+}
+
+}  // namespace fleda

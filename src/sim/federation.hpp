@@ -1,0 +1,52 @@
+// FederationSim: binds the metered Channel to the SimEngine for one
+// training run. Algorithms exchange parameters through channel() —
+// which bills bytes per client — and close each round through a
+// scheduling policy that turns the billed traffic into events on the
+// virtual clock:
+//
+//   finish_sync_round  — the barrier policy used by every synchronous
+//     algorithm: per client, schedule download-complete, compute-
+//     complete and upload-complete events (waiting out offline
+//     windows), release the barrier at the slowest client's upload,
+//     and close the channel round with the resulting duration.
+//   finish_local_round — compute-only (FineTune's client-side
+//     personalization): advances the clock past the slowest client's
+//     local steps without touching the channel.
+//
+// Asynchronous algorithms (fl/async_fedavg.cpp) bypass these policies
+// and schedule their own per-message events directly on engine().
+#pragma once
+
+#include "comm/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace fleda {
+
+// ClientProfile link overrides, as Channel link entries.
+std::vector<ClientLink> links_from_profiles(const SimConfig& config,
+                                            std::size_t num_clients);
+
+class FederationSim {
+ public:
+  FederationSim(Channel& channel, SimEngine& engine)
+      : channel_(channel), engine_(engine) {}
+
+  Channel& channel() { return channel_; }
+  SimEngine& engine() { return engine_; }
+  double now() const { return engine_.now(); }
+
+  // Sync barrier: schedules each client's (download -> `steps` local
+  // steps -> upload) chain from the traffic billed this round, runs
+  // the events, and closes the channel round at the slowest client.
+  void finish_sync_round(int steps);
+
+  // Compute-only phase, no exchange and no channel round entry.
+  void finish_local_round(int steps);
+
+ private:
+  Channel& channel_;
+  SimEngine& engine_;
+  int round_index_ = 0;
+};
+
+}  // namespace fleda

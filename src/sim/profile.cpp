@@ -1,0 +1,97 @@
+#include "sim/profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace fleda {
+
+bool ClientProfile::is_online(double t) const {
+  for (const OfflineWindow& w : offline) {
+    if (t >= w.begin && t < w.end) return false;
+  }
+  return true;
+}
+
+double ClientProfile::next_online(double t) const {
+  // Re-scan until no window covers t: windows may overlap or chain
+  // (end of one inside another), and the list is not required to be
+  // sorted. Each pass either leaves t unchanged (online) or moves it
+  // strictly forward, so this terminates after at most |offline| moves.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const OfflineWindow& w : offline) {
+      if (t >= w.begin && t < w.end) {
+        t = w.end;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+const ClientProfile& SimConfig::profile(std::size_t k) const {
+  static const ClientProfile kDefault;
+  return k < profiles.size() ? profiles[k] : kDefault;
+}
+
+SimConfig SimConfig::uniform(std::size_t n) {
+  SimConfig config;
+  config.profiles.assign(n, ClientProfile{});
+  return config;
+}
+
+SimConfig SimConfig::with_straggler(std::size_t n, std::size_t idx,
+                                    double slowdown) {
+  if (idx >= n) throw std::invalid_argument("with_straggler: idx >= n");
+  if (slowdown < 1.0) {
+    throw std::invalid_argument("with_straggler: slowdown < 1");
+  }
+  SimConfig config = uniform(n);
+  config.profiles[idx].compute_multiplier = slowdown;
+  return config;
+}
+
+SimConfig SimConfig::heterogeneous(std::size_t n, std::uint64_t seed,
+                                   double max_slowdown) {
+  if (max_slowdown < 1.0) {
+    throw std::invalid_argument("heterogeneous: max_slowdown < 1");
+  }
+  SimConfig config = uniform(n);
+  Rng rng(seed);
+  for (ClientProfile& p : config.profiles) {
+    // Log-uniform in [1, max_slowdown]: most devices near the
+    // reference, a heavy-ish tail of slow ones.
+    p.compute_multiplier = std::exp(rng.uniform(0.0, std::log(max_slowdown)));
+    // Link rates scattered 0.5x–2x around the channel defaults; 0 keeps
+    // "inherit", so scatter is expressed as explicit rates off the
+    // CommConfig default link.
+    const CommConfig defaults;
+    const double up_scale = std::exp(rng.uniform(std::log(0.5), std::log(2.0)));
+    const double down_scale =
+        std::exp(rng.uniform(std::log(0.5), std::log(2.0)));
+    p.link.uplink_bytes_per_sec = defaults.uplink_bytes_per_sec * up_scale;
+    p.link.downlink_bytes_per_sec =
+        defaults.downlink_bytes_per_sec * down_scale;
+  }
+  return config;
+}
+
+void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,
+                          double period, double duration, int repeats) {
+  if (idx >= config.profiles.size()) {
+    throw std::invalid_argument("add_periodic_dropout: idx out of range");
+  }
+  if (period <= 0.0 || duration <= 0.0 || duration > period) {
+    throw std::invalid_argument(
+        "add_periodic_dropout: need 0 < duration <= period");
+  }
+  for (int i = 0; i < repeats; ++i) {
+    const double begin = phase + static_cast<double>(i) * period;
+    config.profiles[idx].offline.push_back({begin, begin + duration});
+  }
+}
+
+}  // namespace fleda

@@ -1,0 +1,70 @@
+// ClientProfile: the heterogeneity model of the simulated federation.
+// Each client has a compute speed multiplier (how much longer than the
+// reference device one local step takes), optional per-client link
+// overrides (0 / negative = inherit the channel's CommConfig rates),
+// and a list of offline windows during which it neither starts
+// transfers nor delivers updates. SimConfig bundles the per-client
+// profiles with the global compute-time model and provides the stock
+// scenarios used by tests and benches: uniform, single straggler,
+// seeded heterogeneous, periodic dropout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/channel.hpp"
+
+namespace fleda {
+
+struct OfflineWindow {
+  double begin = 0.0;
+  double end = 0.0;  // half-open [begin, end)
+};
+
+struct ClientProfile {
+  // One local step takes compute_multiplier times the reference
+  // SimConfig::step_time_s. 10.0 models a device 10x slower.
+  double compute_multiplier = 1.0;
+  // Per-client link overrides; the ClientLink sentinels (<= 0 rate,
+  // < 0 latency) inherit the CommConfig shared rates.
+  ClientLink link;
+  // Windows of unavailability on the simulated clock.
+  std::vector<OfflineWindow> offline;
+
+  bool is_online(double t) const;
+  // Earliest time >= t at which the client is online. Windows may
+  // overlap or abut; the scan restarts until a stable point is found.
+  double next_online(double t) const;
+};
+
+struct SimConfig {
+  // Simulated seconds one local training step takes on the reference
+  // (multiplier 1.0) device.
+  double step_time_s = 0.02;
+  // Per-client profiles; clients beyond the vector (or an empty
+  // vector) get the default homogeneous profile.
+  std::vector<ClientProfile> profiles;
+
+  const ClientProfile& profile(std::size_t k) const;
+
+  // Stock scenarios ------------------------------------------------
+  // n identical reference clients.
+  static SimConfig uniform(std::size_t n);
+  // One straggler `idx` computing `slowdown` times slower than the
+  // other n-1 reference clients.
+  static SimConfig with_straggler(std::size_t n, std::size_t idx,
+                                  double slowdown);
+  // Seeded diversity: log-uniform compute multipliers in
+  // [1, max_slowdown] and uplink/downlink rates scattered around the
+  // channel defaults.
+  static SimConfig heterogeneous(std::size_t n, std::uint64_t seed,
+                                 double max_slowdown = 8.0);
+};
+
+// Adds periodic offline windows to client `idx` of `config`: offline
+// during [phase + i*period, phase + i*period + duration) for
+// i = 0..repeats-1.
+void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,
+                          double period, double duration, int repeats);
+
+}  // namespace fleda

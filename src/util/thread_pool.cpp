@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 
 namespace fleda {
 namespace {
@@ -121,9 +122,35 @@ void ThreadPool::parallel_for(
   ctx->done_cv.wait(lock, [&] { return ctx->done.load() == n; });
 }
 
+namespace {
+
+// Global-pool slot: an atomic fast path for the steady state plus a
+// mutex guarding (re)creation. unique_ptr rather than a function-local
+// static so reset_global can join and rebuild the pool.
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(env_thread_count());
-  return pool;
+  ThreadPool* pool = g_pool_ptr.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(env_thread_count());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
+  return *g_pool;
+}
+
+void ThreadPool::reset_global(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins the old workers
+  g_pool = std::make_unique<ThreadPool>(
+      num_threads > 0 ? num_threads : env_thread_count());
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
 }
 
 void parallel_for(std::size_t n,

@@ -44,6 +44,13 @@ class ThreadPool {
   // hardware_concurrency (minimum 1 worker).
   static ThreadPool& global();
 
+  // Replaces the global pool with one of `num_threads` workers
+  // (0 = re-read FLEDA_THREADS / hardware_concurrency). Joins the old
+  // pool first; callers must ensure no parallel work is in flight.
+  // Exists so determinism tests can rerun the same computation under
+  // different pool sizes within one process.
+  static void reset_global(std::size_t num_threads);
+
  private:
   void worker_loop();
 

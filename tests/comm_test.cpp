@@ -402,5 +402,98 @@ TEST(Channel, EndToEndInt8ShrinksUploadsAndStillLearns) {
   EXPECT_LE(auc, 1.0);
 }
 
+// --- error feedback (client-side residual accumulators) --------------
+
+TEST(ErrorFeedback, ResidualEventuallyTransmitsSmallCoordinates) {
+  // TopK keeps 1 of 4 coordinates per send. Without error feedback the
+  // small coordinates are dropped every round, forever; with it the
+  // residual accumulates until they win a slot.
+  ModelParameters update;
+  Tensor t(Shape::of(4));
+  t[0] = 4.0f;
+  t[1] = 3.0f;
+  t[2] = 2.0f;
+  t[3] = 1.0f;
+  update.mutable_entries().push_back({"w", false, t});
+
+  auto accumulate_decoded = [&](bool feedback) {
+    CommConfig config;
+    config.uplink = CodecKind::kTopKDelta;
+    config.topk_fraction = 0.25;
+    config.error_feedback = feedback;
+    Channel channel(config);
+    Tensor sum(Shape::of(4));
+    for (int r = 0; r < 8; ++r) {
+      const ModelParameters decoded = channel.send_up(0, update, nullptr);
+      for (std::int64_t i = 0; i < 4; ++i) {
+        sum[i] += decoded.entries()[0].value[i];
+      }
+      channel.end_round();
+    }
+    return sum;
+  };
+
+  const Tensor with = accumulate_decoded(true);
+  const Tensor without = accumulate_decoded(false);
+  // Without feedback, only one of the large coordinates ever moves.
+  int moved = 0;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    if (without[i] != 0.0f) ++moved;
+  }
+  EXPECT_EQ(moved, 1);
+  // With feedback every coordinate gets through, and more total mass
+  // is delivered (only the final residual is still in flight).
+  float with_total = 0.0f, without_total = 0.0f;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_GT(with[i], 0.0f) << "coordinate " << i;
+    with_total += with[i];
+    without_total += without[i];
+  }
+  EXPECT_GT(with_total, without_total);
+}
+
+TEST(ErrorFeedback, ClosesGapToLosslessUnderHighCompression) {
+  // FedAvg under an aggressive TopK uplink, with and without error
+  // feedback, against the lossless fp32 reference. Error feedback must
+  // recover most of the parameter-space gap.
+  auto run_with = [&](CodecKind uplink, bool feedback, double* avg_auc) {
+    FLRunOptions opts;
+    opts.rounds = 12;
+    opts.client.steps = 3;
+    opts.client.batch_size = 2;
+    opts.client.learning_rate = 1e-3;
+    opts.client.mu = 0.0;
+    opts.seed = 99;
+    opts.comm.uplink = uplink;
+    opts.comm.topk_fraction = 0.1;
+    opts.comm.error_feedback = feedback;
+    TinyWorld w = make_world(91);
+    FedAvg algo;
+    std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+    *avg_auc = 0.5 * (w.clients[0].evaluate_test_auc(finals[0]) +
+                      w.clients[1].evaluate_test_auc(finals[1]));
+    return finals[0];
+  };
+
+  double auc_fp32 = 0.0, auc_lossy = 0.0, auc_corrected = 0.0;
+  const ModelParameters fp32 = run_with(CodecKind::kFp32, false, &auc_fp32);
+  const ModelParameters lossy =
+      run_with(CodecKind::kTopKDelta, false, &auc_lossy);
+  const ModelParameters corrected =
+      run_with(CodecKind::kTopKDelta, true, &auc_corrected);
+
+  // "Closes most of the gap": at least half the parameter-space error
+  // and at least half the AUC deficit vs. the lossless run disappear.
+  const double dist_lossy = lossy.squared_distance(fp32);
+  const double dist_corrected = corrected.squared_distance(fp32);
+  EXPECT_GT(dist_lossy, 0.0);
+  EXPECT_LT(dist_corrected, 0.5 * dist_lossy);
+
+  const double auc_gap_lossy = auc_fp32 - auc_lossy;
+  const double auc_gap_corrected = auc_fp32 - auc_corrected;
+  EXPECT_GT(auc_gap_lossy, 0.05);  // compression visibly hurt accuracy
+  EXPECT_LT(auc_gap_corrected, 0.5 * auc_gap_lossy);
+}
+
 }  // namespace
 }  // namespace fleda
