@@ -18,10 +18,10 @@ class DpFedProx : public FederatedAlgorithm {
   std::string name() const override { return "DP-FedProx"; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override {
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override {
     Rng init_rng(opts.seed);
     RoutabilityModelPtr init = factory(init_rng);
     ModelParameters global = ModelParameters::from_model(*init);
@@ -29,13 +29,16 @@ class DpFedProx : public FederatedAlgorithm {
 
     const std::vector<double> weights = Server::client_weights(clients);
     for (int r = 0; r < opts.rounds; ++r) {
-      std::vector<const ModelParameters*> deployed(clients.size(), &global);
+      const std::vector<std::size_t> cohort =
+          select_cohort(participation, r, clients.size(), opts, sim);
+      std::vector<const ModelParameters*> deployed(cohort.size(), &global);
       std::vector<ModelParameters> updates =
-          parallel_local_updates(clients, deployed, opts.client, sim);
+          cohort_local_updates(clients, cohort, deployed, opts.client, sim);
       for (ModelParameters& update : updates) {
         privatize_update(update, global, dp_, noise_rng);
       }
-      global = Server::aggregate(updates, weights);
+      global =
+          Server::aggregate(updates, Server::cohort_weights(weights, cohort));
     }
     return std::vector<ModelParameters>(clients.size(), global);
   }

@@ -13,12 +13,20 @@
 // AUC minus 0.01, and exits non-zero unless async gets there in at
 // most half the sync run's simulated time.
 //
+// Part 3 is the thousand-client demonstration from the participation
+// redesign: K = 1000 ClientProfiles sharing the 9 synthetic datasets,
+// FedAvg with UniformSample{C = 20}. The gate checks the per-round
+// cost is O(C), not O(K) — exactly 2C messages and 2C model-snapshots
+// of bytes per round — and that the sampled run replays bit-identically.
+//
 // Output is one JSON object per line, easy to diff/collect in CI.
 #include <cstdio>
 #include <vector>
 
+#include "comm/codec.hpp"
 #include "fl/async_fedavg.hpp"
 #include "fl/fedavg.hpp"
+#include "fl/participation.hpp"
 #include "fl/synthetic.hpp"
 #include "models/registry.hpp"
 #include "sim/event_queue.hpp"
@@ -161,9 +169,113 @@ int bench_straggler() {
   return pass ? 0 : 1;
 }
 
+// --- part 3: K = 1000 clients, C = 20 sampled per round --------------
+
+struct ThousandRun {
+  std::vector<ModelParameters> finals;
+  ChannelStats comm;
+  SimReport report;
+};
+
+ThousandRun run_thousand(std::size_t num_clients, int cohort, int rounds) {
+  // 9 shared synthetic datasets; client k trains on dataset k % 9 (the
+  // paper's data heterogeneity, scaled to a thousand participants).
+  static const std::vector<ClientDataset> shared_data = [] {
+    std::vector<ClientDataset> data;
+    for (int d = 0; d < 9; ++d) {
+      data.push_back(make_synthetic_client(
+          d + 1, 0.35f + 0.04f * static_cast<float>(d), 1000 + d));
+    }
+    return data;
+  }();
+
+  ModelFactory factory = make_model_factory(ModelKind::kFLNet, 2);
+  Rng rng(4242);
+  std::vector<Client> clients;
+  clients.reserve(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    clients.emplace_back(static_cast<int>(k) + 1, &shared_data[k % 9],
+                         factory, rng.fork(k));
+  }
+
+  FLRunOptions opts;
+  opts.rounds = rounds;
+  opts.client.steps = 2;
+  opts.client.batch_size = 2;
+  opts.client.learning_rate = 1e-3;
+  opts.client.mu = 0.0;
+  opts.seed = 99;
+  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.sample_size = cohort;
+  opts.participation.seed = 31337;
+  opts.sim = SimConfig::heterogeneous(num_clients, /*seed=*/5);
+
+  ThousandRun run;
+  opts.comm_stats = &run.comm;
+  opts.sim_report = &run.report;
+  FedAvg algo;
+  run.finals = algo.run(clients, factory, opts);
+  return run;
+}
+
+bool bit_identical_params(const ModelParameters& a, const ModelParameters& b) {
+  if (!a.structurally_equal(b)) return false;
+  for (std::size_t n = 0; n < a.entries().size(); ++n) {
+    if (!a.entries()[n].value.equals(b.entries()[n].value)) return false;
+  }
+  return true;
+}
+
+int bench_thousand_clients() {
+  constexpr std::size_t kK = 1000;
+  constexpr int kCohort = 20;
+  constexpr int kRounds = 3;
+
+  Timer timer;
+  const ThousandRun first = run_thousand(kK, kCohort, kRounds);
+  const double host_s = timer.seconds();
+  const ThousandRun replay = run_thousand(kK, kCohort, kRounds);
+
+  // O(C) gate: every round bills exactly C deployments down and C
+  // updates up, each a full fp32 model snapshot.
+  const std::uint64_t model_bytes = raw_wire_bytes(first.finals.front());
+  bool o_c_billing = first.comm.rounds.size() ==
+                     static_cast<std::size_t>(kRounds);
+  std::uint64_t bytes_per_round = 0;
+  for (const RoundCommStats& r : first.comm.rounds) {
+    o_c_billing = o_c_billing && r.downlink_messages == kCohort &&
+                  r.uplink_messages == kCohort &&
+                  r.downlink_bytes == kCohort * model_bytes &&
+                  r.uplink_bytes == kCohort * model_bytes;
+    bytes_per_round = r.downlink_bytes + r.uplink_bytes;
+  }
+
+  // Determinism gate: a replay with the same seeds is bit-identical.
+  bool deterministic = first.finals.size() == replay.finals.size() &&
+                       first.report.total_time_s == replay.report.total_time_s;
+  deterministic = deterministic &&
+                  bit_identical_params(first.finals.front(),
+                                       replay.finals.front());
+
+  const bool pass = o_c_billing && deterministic;
+  std::printf(
+      "{\"bench\":\"thousand_clients\",\"clients\":%zu,\"cohort\":%d,"
+      "\"rounds\":%d,\"bytes_per_round\":%llu,\"model_bytes\":%llu,"
+      "\"sim_time_s\":%.1f,\"host_time_s\":%.1f,\"o_c_billing\":%s,"
+      "\"deterministic\":%s,\"pass\":%s}\n",
+      kK, kCohort, kRounds,
+      static_cast<unsigned long long>(bytes_per_round),
+      static_cast<unsigned long long>(model_bytes),
+      first.report.total_time_s, host_s, o_c_billing ? "true" : "false",
+      deterministic ? "true" : "false", pass ? "true" : "false");
+  return pass ? 0 : 1;
+}
+
 int main_impl() {
   bench_event_loop(1'000'000);
-  return bench_straggler();
+  const int straggler_rc = bench_straggler();
+  const int thousand_rc = bench_thousand_clients();
+  return straggler_rc != 0 ? straggler_rc : thousand_rc;
 }
 
 }  // namespace

@@ -26,20 +26,11 @@ double ChannelStats::downlink_compression() const {
 Channel::Channel(const CommConfig& config)
     : config_(config),
       uplink_codec_(make_codec(config.uplink, config.topk_fraction)),
-      downlink_codec_(make_codec(config.downlink, config.topk_fraction)) {
+      downlink_codec_(make_codec(config.downlink, config.topk_fraction)),
+      downlink_delta_(config.downlink == CodecKind::kTopKDelta) {
   if (config.uplink_bytes_per_sec <= 0.0 ||
       config.downlink_bytes_per_sec <= 0.0) {
     throw std::invalid_argument("Channel: bandwidth must be > 0");
-  }
-  // A delta downlink would need the server to track every client's
-  // last-received model as the shared reference; broadcast() encodes
-  // against nullptr, which for TopKDelta silently zeroes ~(1-k/n) of
-  // the deployed weights. Reject it until per-client reference
-  // tracking exists (see ROADMAP).
-  if (config.downlink == CodecKind::kTopKDelta) {
-    throw std::invalid_argument(
-        "Channel: TopKDelta is an uplink-only codec (no shared downlink "
-        "reference)");
   }
 }
 
@@ -72,6 +63,7 @@ ClientLink Channel::link(std::size_t k) const {
 void Channel::ensure_clients(std::size_t n) {
   if (traffic_.size() < n) traffic_.resize(n);
   if (residuals_.size() < n) residuals_.resize(n);
+  if (downlink_refs_.size() < n) downlink_refs_.resize(n);
 }
 
 void Channel::bill_downlink(std::size_t client, std::uint64_t bytes,
@@ -98,33 +90,63 @@ void Channel::bill_uplink(std::size_t client, std::uint64_t bytes,
 
 std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
     const std::vector<const ModelParameters*>& deployed) {
-  // Encode (and decode) each distinct snapshot once; identical pointers
-  // mean the same broadcast payload, and all recipients share the one
-  // decoded copy. Distinct snapshots go through the codec in parallel,
-  // mirroring collect().
-  std::vector<const ModelParameters*> distinct;
-  std::map<const ModelParameters*, std::size_t> index;
-  for (const ModelParameters* p : deployed) {
-    if (p == nullptr) throw std::invalid_argument("broadcast: null snapshot");
-    if (index.emplace(p, distinct.size()).second) distinct.push_back(p);
+  std::vector<std::size_t> recipients(deployed.size());
+  for (std::size_t k = 0; k < recipients.size(); ++k) recipients[k] = k;
+  return broadcast(deployed, recipients);
+}
+
+std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
+    const std::vector<const ModelParameters*>& deployed,
+    const std::vector<std::size_t>& recipients) {
+  if (deployed.size() != recipients.size()) {
+    throw std::invalid_argument(
+        "Channel::broadcast: " + std::to_string(deployed.size()) +
+        " snapshots vs " + std::to_string(recipients.size()) + " recipients");
+  }
+  std::size_t max_client = 0;
+  for (std::size_t k : recipients) max_client = std::max(max_client, k + 1);
+  ensure_clients(max_client);
+  // Encode (and decode) each distinct (snapshot, delta-reference) pair
+  // once; identical pairs mean the same broadcast payload, and all
+  // their recipients share the one decoded copy. Without a delta
+  // downlink the reference is always null, so this degenerates to
+  // distinct snapshots. Distinct payloads go through the codec in
+  // parallel, mirroring collect().
+  using PayloadKey = std::pair<const ModelParameters*, const ModelParameters*>;
+  std::vector<PayloadKey> distinct;
+  std::map<PayloadKey, std::size_t> index;
+  std::vector<std::size_t> payload_of(deployed.size());
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    if (deployed[i] == nullptr) {
+      throw std::invalid_argument("broadcast: null snapshot");
+    }
+    const ModelParameters* reference =
+        downlink_delta_ ? downlink_refs_[recipients[i]].get() : nullptr;
+    const PayloadKey key{deployed[i], reference};
+    const auto [it, inserted] = index.emplace(key, distinct.size());
+    if (inserted) distinct.push_back(key);
+    payload_of[i] = it->second;
   }
   std::vector<std::pair<std::uint64_t, std::uint64_t>> sizes(distinct.size());
   std::vector<std::shared_ptr<const ModelParameters>> decoded(distinct.size());
   parallel_for(distinct.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      const ByteBuffer blob = downlink_codec_->encode(*distinct[i], nullptr);
-      sizes[i] = {blob.size(), raw_wire_bytes(*distinct[i])};
+      const auto& [snapshot, reference] = distinct[i];
+      const ByteBuffer blob = downlink_codec_->encode(*snapshot, reference);
+      sizes[i] = {blob.size(), raw_wire_bytes(*snapshot)};
       decoded[i] = std::make_shared<const ModelParameters>(
-          downlink_codec_->decode(blob, nullptr));
+          downlink_codec_->decode(blob, reference));
     }
   });
-  ensure_clients(deployed.size());
   std::vector<std::shared_ptr<const ModelParameters>> received;
   received.reserve(deployed.size());
-  for (std::size_t k = 0; k < deployed.size(); ++k) {
-    const auto& [bytes, raw] = sizes[index.at(deployed[k])];
-    bill_downlink(k, bytes, raw);
-    received.push_back(decoded[index.at(deployed[k])]);
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    const auto& [bytes, raw] = sizes[payload_of[i]];
+    bill_downlink(recipients[i], bytes, raw);
+    received.push_back(decoded[payload_of[i]]);
+    // Both sides now hold the decoded snapshot: it becomes client
+    // recipients[i]'s reference for the next delta downlink.
+    if (downlink_delta_) downlink_refs_[recipients[i]] = decoded[payload_of[i]];
   }
   return received;
 }
@@ -160,26 +182,39 @@ ModelParameters Channel::uplink_roundtrip(std::size_t client,
 std::vector<ModelParameters> Channel::collect(
     const std::vector<ModelParameters>& updates,
     const std::vector<const ModelParameters*>& references) {
-  if (updates.size() != references.size()) {
+  std::vector<std::size_t> senders(updates.size());
+  for (std::size_t k = 0; k < senders.size(); ++k) senders[k] = k;
+  return collect(updates, references, senders);
+}
+
+std::vector<ModelParameters> Channel::collect(
+    const std::vector<ModelParameters>& updates,
+    const std::vector<const ModelParameters*>& references,
+    const std::vector<std::size_t>& senders) {
+  if (updates.size() != references.size() ||
+      updates.size() != senders.size()) {
     throw std::invalid_argument(
         "Channel::collect: " + std::to_string(updates.size()) +
-        " updates vs " + std::to_string(references.size()) + " references");
+        " updates vs " + std::to_string(references.size()) +
+        " references vs " + std::to_string(senders.size()) + " senders");
   }
   const std::size_t n = updates.size();
-  ensure_clients(n);
+  std::size_t max_client = 0;
+  for (std::size_t k : senders) max_client = std::max(max_client, k + 1);
+  ensure_clients(max_client);
   std::vector<ModelParameters> received(n);
   std::vector<std::uint64_t> bytes(n, 0), raw(n, 0);
   // Encode client-side and decode server-side per update; the pool
-  // parallelizes across clients (distinct client indices touch
+  // parallelizes across clients (distinct sender indices touch
   // distinct residual slots, so the error-feedback state is safe; the
   // stats are reduced serially below).
   parallel_for(n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      received[k] = uplink_roundtrip(k, updates[k], references[k], &bytes[k],
-                                     &raw[k]);
+    for (std::size_t i = begin; i < end; ++i) {
+      received[i] = uplink_roundtrip(senders[i], updates[i], references[i],
+                                     &bytes[i], &raw[i]);
     }
   });
-  for (std::size_t k = 0; k < n; ++k) bill_uplink(k, bytes[k], raw[k]);
+  for (std::size_t i = 0; i < n; ++i) bill_uplink(senders[i], bytes[i], raw[i]);
   return received;
 }
 
@@ -187,11 +222,15 @@ std::shared_ptr<const ModelParameters> Channel::send_down(
     std::size_t client, const ModelParameters& snapshot,
     std::uint64_t* bytes_out) {
   ensure_clients(client + 1);
-  const ByteBuffer blob = downlink_codec_->encode(snapshot, nullptr);
+  const ModelParameters* reference =
+      downlink_delta_ ? downlink_refs_[client].get() : nullptr;
+  const ByteBuffer blob = downlink_codec_->encode(snapshot, reference);
   bill_downlink(client, blob.size(), raw_wire_bytes(snapshot));
   if (bytes_out != nullptr) *bytes_out = blob.size();
-  return std::make_shared<const ModelParameters>(
-      downlink_codec_->decode(blob, nullptr));
+  auto decoded = std::make_shared<const ModelParameters>(
+      downlink_codec_->decode(blob, reference));
+  if (downlink_delta_) downlink_refs_[client] = decoded;
+  return decoded;
 }
 
 ModelParameters Channel::send_up(std::size_t client,

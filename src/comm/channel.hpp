@@ -18,6 +18,12 @@
 // codec, each client keeps the residual update - decode(encode(update))
 // and adds it to the next round's update before encoding, so small but
 // consistent components are not silently dropped forever.
+//
+// Delta downlink (CommConfig::downlink = kTopKDelta): the server
+// tracks, per client, the snapshot that client last decoded and
+// encodes each downlink delta against it — both sides hold the
+// reference, so clients sampled in different rounds still reconstruct
+// consistently (first contact encodes against zeros).
 #pragma once
 
 #include <cstdint>
@@ -105,10 +111,19 @@ class Channel {
   // k; repeated pointers (a shared global model) are encoded once but
   // billed per recipient, like a broadcast. Returns what each client
   // decodes — under a lossy codec this is what the client actually
-  // trains from. Each distinct snapshot is decoded once and shared
-  // across recipients (recipients must not mutate it).
+  // trains from. Each distinct (snapshot, per-client downlink
+  // reference) pair is decoded once and shared across recipients
+  // (recipients must not mutate it).
   std::vector<std::shared_ptr<const ModelParameters>> broadcast(
       const std::vector<const ModelParameters*>& deployed);
+
+  // Cohort-addressed form: deployed[i] goes to client recipients[i]
+  // (indices must be distinct within one call). Only the named
+  // recipients are billed — under partial participation a round's
+  // downlink cost is O(|cohort|), not O(K).
+  std::vector<std::shared_ptr<const ModelParameters>> broadcast(
+      const std::vector<const ModelParameters*>& deployed,
+      const std::vector<std::size_t>& recipients);
 
   // Clients -> server. references[k] is the snapshot client k started
   // from this round (already held by both sides; delta codecs encode
@@ -118,6 +133,13 @@ class Channel {
   std::vector<ModelParameters> collect(
       const std::vector<ModelParameters>& updates,
       const std::vector<const ModelParameters*>& references);
+
+  // Cohort-addressed form: updates[i] comes from client senders[i]
+  // (indices must be distinct within one call).
+  std::vector<ModelParameters> collect(
+      const std::vector<ModelParameters>& updates,
+      const std::vector<const ModelParameters*>& references,
+      const std::vector<std::size_t>& senders);
 
   // Per-message primitives for event-driven schedules (AsyncFedAvg):
   // one deployment to / one update from a single client, billed to
@@ -165,6 +187,9 @@ class Channel {
   CommConfig config_;
   std::unique_ptr<ParameterCodec> uplink_codec_;
   std::unique_ptr<ParameterCodec> downlink_codec_;
+  // Downlink deltas (TopKDelta) encode against what each client last
+  // decoded from the server, not against nullptr.
+  bool downlink_delta_ = false;
   std::vector<ClientLink> links_;
   ChannelStats stats_;
   RoundCommStats current_round_;
@@ -173,6 +198,11 @@ class Channel {
   // yet); only populated when config_.error_feedback and the uplink
   // codec is lossy.
   std::vector<ModelParameters> residuals_;
+  // Per-client server-side reference tracking for delta downlinks:
+  // the snapshot client k last decoded (shared with the recipient —
+  // both sides hold it, so the next delta encodes against it). Only
+  // populated when downlink_delta_.
+  std::vector<std::shared_ptr<const ModelParameters>> downlink_refs_;
 };
 
 }  // namespace fleda

@@ -23,6 +23,9 @@ struct MethodResult {
   // which never touch the engine).
   double sim_time_s = 0.0;
   std::uint64_t sim_events = 0;
+  // Participation policy the run used ("full", "uniform_sample", ...);
+  // empty for the non-federated baselines.
+  std::string participation;
 };
 
 // Evaluates per-client final models: finals[k] on clients[k].

@@ -2,15 +2,8 @@
 
 #include <stdexcept>
 
-#include "fl/alpha_sync.hpp"
-#include "fl/assigned_clustering.hpp"
-#include "fl/baselines.hpp"
-#include "fl/fedavg.hpp"
-#include "fl/fedprox.hpp"
-#include "fl/fedprox_lg.hpp"
-#include "fl/finetune.hpp"
-#include "fl/ifca.hpp"
 #include "data/serialization.hpp"
+#include "fl/baselines.hpp"
 #include "phys/features.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -18,29 +11,49 @@
 namespace fleda {
 
 std::string to_string(TrainingMethod method) {
+  return display_name(registry_name(method));
+}
+
+std::string registry_name(TrainingMethod method) {
   switch (method) {
     case TrainingMethod::kLocal:
-      return "Local Average (b1 to b9)";
+      return "local";
     case TrainingMethod::kCentral:
-      return "Training Centrally on All Data";
+      return "central";
     case TrainingMethod::kFedAvg:
-      return "FedAvg";
+      return "fedavg";
     case TrainingMethod::kFedProx:
-      return "FedProx";
+      return "fedprox";
     case TrainingMethod::kFedProxLG:
-      return "FedProx-LG";
+      return "fedprox_lg";
     case TrainingMethod::kIFCA:
-      return "IFCA";
+      return "ifca";
     case TrainingMethod::kFedProxFineTune:
-      return "FedProx + Fine-tuning";
+      return "fedprox_finetune";
     case TrainingMethod::kAssignedClustering:
-      return "Assigned Clustering";
+      return "assigned_clustering";
     case TrainingMethod::kAlphaPortionSync:
-      return "FedProx + a-Portion Sync";
+      return "alpha_sync";
     case TrainingMethod::kAsyncFedAvg:
-      return "AsyncFedAvg";
+      return "async_fedavg";
   }
   return "?";
+}
+
+std::string display_name(std::string_view name) {
+  // The paper's table labels for the built-in methods; anything
+  // registered downstream is shown under its registry name.
+  if (name == "local") return "Local Average (b1 to b9)";
+  if (name == "central") return "Training Centrally on All Data";
+  if (name == "fedavg") return "FedAvg";
+  if (name == "fedprox") return "FedProx";
+  if (name == "fedprox_lg") return "FedProx-LG";
+  if (name == "ifca") return "IFCA";
+  if (name == "fedprox_finetune") return "FedProx + Fine-tuning";
+  if (name == "assigned_clustering") return "Assigned Clustering";
+  if (name == "alpha_sync") return "FedProx + a-Portion Sync";
+  if (name == "async_fedavg") return "AsyncFedAvg";
+  return std::string(name);
 }
 
 std::vector<TrainingMethod> paper_table_methods() {
@@ -123,51 +136,43 @@ FLRunOptions Experiment::make_run_options() const {
   opts.seed = config_.train_seed;
   opts.comm = config_.comm;
   opts.sim = config_.sim;
+  opts.participation = config_.participation;
   return opts;
 }
 
+AlgorithmOptions Experiment::make_algorithm_options() const {
+  AlgorithmOptions options;
+  options.num_clusters = config_.hparams.num_clusters;
+  options.finetune_steps = config_.scale.finetune_steps;
+  options.alpha_portion = config_.hparams.alpha_portion;
+  options.async = config_.async;
+  return options;
+}
+
 std::unique_ptr<FederatedAlgorithm> Experiment::make_algorithm(
-    TrainingMethod method) const {
-  switch (method) {
-    case TrainingMethod::kFedAvg:
-      return std::make_unique<FedAvg>();
-    case TrainingMethod::kFedProx:
-      return std::make_unique<FedProx>();
-    case TrainingMethod::kFedProxLG:
-      return std::make_unique<FedProxLG>();
-    case TrainingMethod::kIFCA:
-      return std::make_unique<IFCA>(config_.hparams.num_clusters);
-    case TrainingMethod::kFedProxFineTune:
-      return std::make_unique<FineTune>(std::make_unique<FedProx>(),
-                                        config_.scale.finetune_steps);
-    case TrainingMethod::kAssignedClustering:
-      return std::make_unique<AssignedClustering>(
-          AssignedClustering::paper_assignment());
-    case TrainingMethod::kAlphaPortionSync:
-      return std::make_unique<AlphaPortionSync>(
-          config_.hparams.alpha_portion);
-    case TrainingMethod::kAsyncFedAvg:
-      return std::make_unique<AsyncFedAvg>(config_.async);
-    default:
-      throw std::invalid_argument(
-          "make_algorithm: not a federated method: " + to_string(method));
-  }
+    std::string_view name) const {
+  return AlgorithmRegistry::global().create(name, make_algorithm_options());
 }
 
 MethodResult Experiment::run_method(TrainingMethod method) {
+  return run_method(registry_name(method));
+}
+
+MethodResult Experiment::run_method(std::string_view name) {
   std::vector<Client> clients = make_clients();
   Timer timer;
   MethodResult result;
+  const std::string label = display_name(name);
 
-  if (method == TrainingMethod::kLocal) {
+  if (name == "local") {
     BaselineOptions bopts;
     bopts.total_steps = config_.scale.rounds * config_.scale.steps_per_round;
     bopts.client = make_client_config();
     bopts.seed = config_.train_seed;
     std::vector<ModelParameters> locals =
         train_local_baselines(clients, factory_, bopts);
-    result = evaluate_per_client(to_string(method), clients, locals);
-  } else if (method == TrainingMethod::kCentral) {
+    result = evaluate_per_client(label, clients, locals);
+  } else if (name == "central") {
     BaselineOptions bopts;
     // Equal-compute upper bound: federated training performs R*S steps
     // on each of the K clients, so the centralized reference gets the
@@ -177,27 +182,32 @@ MethodResult Experiment::run_method(TrainingMethod method) {
     bopts.client = make_client_config();
     bopts.seed = config_.train_seed;
     ModelParameters central = train_centralized(data_, factory_, bopts);
-    result = evaluate_shared(to_string(method), clients, central);
+    result = evaluate_shared(label, clients, central);
   } else {
-    std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
+    std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(name);
     ChannelStats comm;
     SimReport sim;
     FLRunOptions opts = make_run_options();
     opts.comm_stats = &comm;
     opts.sim_report = &sim;
     std::vector<ModelParameters> finals = algo->run(clients, factory_, opts);
-    result = evaluate_per_client(to_string(method), clients, finals);
+    result = evaluate_per_client(label, clients, finals);
     result.comm = std::move(comm);
     result.sim_time_s = sim.total_time_s;
     result.sim_events = sim.events_processed;
+    // Event-driven methods ignore the sync participation policy; do
+    // not claim sampling was applied to them.
+    result.participation = algo->uses_participation()
+                               ? to_string(config_.participation.kind)
+                               : "event-driven";
   }
 
   FLEDA_LOG_INFO(
       "%s [%s]: avg AUC %.3f (%.1fs; comm up %.2f MB / down %.2f MB, "
       "sim clock %.1fs)",
-      to_string(method).c_str(), to_string(config_.model).c_str(),
-      result.average, timer.seconds(), result.comm.uplink_mb(),
-      result.comm.downlink_mb(), result.sim_time_s);
+      label.c_str(), to_string(config_.model).c_str(), result.average,
+      timer.seconds(), result.comm.uplink_mb(), result.comm.downlink_mb(),
+      result.sim_time_s);
   return result;
 }
 
@@ -211,13 +221,18 @@ std::vector<MethodResult> Experiment::run_paper_table() {
 
 std::vector<Experiment::ConvergencePoint> Experiment::run_convergence(
     TrainingMethod method) {
+  return run_convergence(registry_name(method));
+}
+
+std::vector<Experiment::ConvergencePoint> Experiment::run_convergence(
+    std::string_view name) {
   std::vector<Client> clients = make_clients();
   std::vector<ConvergencePoint> series;
 
-  if (method == TrainingMethod::kLocal || method == TrainingMethod::kCentral) {
+  if (name == "local" || name == "central") {
     throw std::invalid_argument("run_convergence: federated methods only");
   }
-  std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(method);
+  std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(name);
   ChannelStats comm;
   FLRunOptions opts = make_run_options();
   opts.comm_stats = &comm;

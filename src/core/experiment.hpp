@@ -1,30 +1,38 @@
 // fleda::Experiment — the library's top-level API. One Experiment owns
-// a Table-2-replica dataset and can run any of the paper's training
-// methods on any of the three models, returning table rows (per-client
-// ROC AUC + average). The benches for Tables 3/4/5 are thin wrappers
-// over this class, and downstream users drive the whole system from
-// here:
+// a Table-2-replica dataset and can run any registered training method
+// on any of the three models, returning table rows (per-client ROC AUC
+// + average). The benches for Tables 3/4/5 are thin wrappers over this
+// class, and downstream users drive the whole system from here:
 //
 //   ExperimentConfig cfg;
 //   cfg.model = ModelKind::kFLNet;
 //   Experiment exp(cfg);
 //   exp.prepare_data();
-//   MethodResult row = exp.run_method(TrainingMethod::kFedProxFineTune);
+//   MethodResult row = exp.run_method("fedprox_finetune");
+//
+// Methods are looked up by registry name (AlgorithmRegistry::global(),
+// plus the "local" / "central" baselines); the TrainingMethod enum
+// below survives as a thin deprecated shim over those names so
+// paper_table_methods() and the existing benches keep compiling.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/evaluation.hpp"
 #include "data/generator.hpp"
-#include "fl/async_fedavg.hpp"
+#include "fl/registry.hpp"
 #include "fl/trainer.hpp"
 #include "models/registry.hpp"
 #include "util/config.hpp"
 
 namespace fleda {
 
+// DEPRECATED enum dispatch: kept only so existing callers compile.
+// Each value maps onto a registry name via registry_name(); new code
+// should pass names to Experiment::run_method(std::string_view).
 enum class TrainingMethod {
   kLocal,               // Local Average (b_1..b_9)
   kCentral,             // Training Centrally on All Data
@@ -39,6 +47,12 @@ enum class TrainingMethod {
 };
 
 std::string to_string(TrainingMethod method);
+// The AlgorithmRegistry key for an enum value ("local" / "central" for
+// the two baselines, which are not federated algorithms).
+std::string registry_name(TrainingMethod method);
+// The paper's table label for a registry name (falls back to the name
+// itself for methods registered downstream).
+std::string display_name(std::string_view name);
 // The eight rows of Tables 3-5, in the paper's order.
 std::vector<TrainingMethod> paper_table_methods();
 
@@ -54,6 +68,9 @@ struct ExperimentConfig {
   // Client heterogeneity and compute-time model for the simulated
   // federation clock (default: homogeneous, always-online clients).
   SimConfig sim;
+  // Per-round cohort selection for the synchronous methods (full
+  // participation, uniform sampling, availability-aware skipping).
+  ParticipationConfig participation;
   // AsyncFedAvg knobs (buffer size, staleness discount).
   AsyncConfig async;
   // Optional directory for caching the generated dataset across runs.
@@ -68,7 +85,10 @@ class Experiment {
   void prepare_data();
 
   // Runs one training method end-to-end and evaluates it. Requires
-  // prepare_data() first.
+  // prepare_data() first. `name` is an AlgorithmRegistry key, or the
+  // "local" / "central" baselines.
+  MethodResult run_method(std::string_view name);
+  // Deprecated enum shim over the name-keyed overload.
   MethodResult run_method(TrainingMethod method);
 
   // All eight table rows, in paper order.
@@ -81,6 +101,7 @@ class Experiment {
     double average_auc = 0.0;
     double sim_time_s = 0.0;
   };
+  std::vector<ConvergencePoint> run_convergence(std::string_view name);
   std::vector<ConvergencePoint> run_convergence(TrainingMethod method);
 
   const std::vector<ClientDataset>& data() const { return data_; }
@@ -90,7 +111,10 @@ class Experiment {
   std::vector<Client> make_clients();
   FLRunOptions make_run_options() const;
   ClientTrainConfig make_client_config() const;
-  std::unique_ptr<FederatedAlgorithm> make_algorithm(TrainingMethod method) const;
+  // Registry options derived from this experiment's scale / hparams.
+  AlgorithmOptions make_algorithm_options() const;
+  std::unique_ptr<FederatedAlgorithm> make_algorithm(
+      std::string_view name) const;
 
   ExperimentConfig config_;
   ModelFactory factory_;

@@ -85,12 +85,14 @@ AsciiTable render_headline_summary(const std::vector<MethodResult>& rows) {
 AsciiTable render_comm_table(const std::vector<MethodResult>& rows) {
   AsciiTable table(
       "Communication accounting (parameter-exchange channel + sim clock)");
-  table.set_header({"Method", "Up MB", "Down MB", "Msgs", "Up comp.",
+  table.set_header({"Method", "Part.", "Up MB", "Down MB", "Msgs", "Up comp.",
                     "Down comp.", "Rounds s", "Sim clock s"});
   for (const MethodResult& row : rows) {
     const ChannelStats& c = row.comm;
     if (c.uplink_messages == 0 && c.downlink_messages == 0) continue;
-    table.add_row({row.method, AsciiTable::fmt(c.uplink_mb()),
+    table.add_row({row.method,
+                   row.participation.empty() ? "-" : row.participation,
+                   AsciiTable::fmt(c.uplink_mb()),
                    AsciiTable::fmt(c.downlink_mb()),
                    std::to_string(c.uplink_messages + c.downlink_messages),
                    AsciiTable::fmt(c.uplink_compression()) + "x",

@@ -1,0 +1,107 @@
+#include "fl/aggregation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fleda {
+namespace {
+
+// Shared cohort validation: every rule divides by the total weight, so
+// the failure modes are caught once, with a message that points at the
+// participation layer (the usual culprit under client sampling).
+double checked_total_weight(const char* rule,
+                            const std::vector<AggregationInput>& cohort,
+                            bool apply_staleness,
+                            const StalenessPolicy* staleness) {
+  if (cohort.empty()) {
+    throw std::invalid_argument(
+        std::string(rule) +
+        ": empty cohort — no client contributed this round (did the "
+        "participation policy sample only offline clients?)");
+  }
+  double total = 0.0;
+  for (const AggregationInput& in : cohort) {
+    if (in.params == nullptr) {
+      throw std::invalid_argument(std::string(rule) + ": null update");
+    }
+    if (!(in.weight >= 0.0)) {  // negatives and NaNs both fail this
+      throw std::invalid_argument(
+          std::string(rule) + ": weight " + std::to_string(in.weight) +
+          " is negative or non-finite");
+    }
+    total += apply_staleness ? in.weight * staleness->weight(in.staleness)
+                             : in.weight;
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    throw std::invalid_argument(
+        std::string(rule) + ": total weight " + std::to_string(total) +
+        " over " + std::to_string(cohort.size()) +
+        " clients — refusing to divide (would emit NaN parameters)");
+  }
+  return total;
+}
+
+}  // namespace
+
+ModelParameters WeightedAverage::aggregate(
+    const ModelParameters& /*current*/,
+    const std::vector<AggregationInput>& cohort) const {
+  const double total =
+      checked_total_weight("WeightedAverage", cohort, false, nullptr);
+  ModelParameters result = *cohort[0].params;
+  result.scale(cohort[0].weight / total);
+  for (std::size_t i = 1; i < cohort.size(); ++i) {
+    if (!result.structurally_equal(*cohort[i].params)) {
+      throw std::invalid_argument("WeightedAverage: structure mismatch");
+    }
+    result.add_scaled(*cohort[i].params, cohort[i].weight / total);
+  }
+  return result;
+}
+
+double StalenessPolicy::weight(int staleness) const {
+  if (staleness <= 0) return 1.0;
+  switch (discount) {
+    case StalenessDiscount::kPolynomial:
+      return std::pow(1.0 + static_cast<double>(staleness), -poly_exponent);
+    case StalenessDiscount::kConstant:
+      return constant_factor;
+  }
+  return 1.0;
+}
+
+StalenessDiscountedMix::StalenessDiscountedMix(StalenessPolicy staleness,
+                                               double server_mix)
+    : staleness_(staleness), server_mix_(server_mix) {
+  if (server_mix_ <= 0.0) {
+    throw std::invalid_argument("StalenessDiscountedMix: server_mix <= 0");
+  }
+  if (staleness_.poly_exponent < 0.0 || staleness_.constant_factor <= 0.0) {
+    throw std::invalid_argument(
+        "StalenessDiscountedMix: discount must be positive");
+  }
+}
+
+ModelParameters StalenessDiscountedMix::aggregate(
+    const ModelParameters& current,
+    const std::vector<AggregationInput>& cohort) const {
+  const double total = checked_total_weight("StalenessDiscountedMix", cohort,
+                                            true, &staleness_);
+  // acc = sum_i n_i s(tau_i) delta_i
+  ModelParameters acc;
+  for (const AggregationInput& in : cohort) {
+    const double u = in.weight * staleness_.weight(in.staleness);
+    if (acc.empty()) {
+      acc = *in.params;
+      acc.scale(u);
+    } else {
+      acc.add_scaled(*in.params, u);
+    }
+  }
+  acc.scale(server_mix_ / total);
+  ModelParameters next = current;
+  next.add_scaled(acc, 1.0);
+  return next;
+}
+
+}  // namespace fleda

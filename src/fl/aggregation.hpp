@@ -1,0 +1,96 @@
+// AggregationRule: the strategy that turns a cohort's updates into the
+// next server-side model. The weighted-average math used to live in
+// Server and the staleness-discount / server-mix math inside
+// AsyncFedAvg's round loop; both are now pluggable rules, so a new
+// aggregation scheme (median, trimmed mean, momentum server, ...)
+// plugs into every algorithm instead of forking one.
+//
+// Two families ship:
+//   WeightedAverage       — W' = sum_k (n_k / n) w_k over the cohort
+//                           (FedAvg/FedProx semantics; ignores
+//                           `current` and staleness).
+//   StalenessDiscountedMix — W' = W + eta * sum_i u_i d_i / sum_i u_i,
+//                           u_i = n_i * s(tau_i), over buffered DELTAS
+//                           (AsyncFedAvg/FedBuff semantics).
+//
+// Every rule refuses an empty cohort or a zero total weight with a
+// descriptive error — under partial participation an all-offline
+// sampled cohort must fail loudly, not divide by zero.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/parameters.hpp"
+
+namespace fleda {
+
+// One client's contribution to an aggregation step.
+struct AggregationInput {
+  // Full parameters for averaging rules; a delta against the dispatched
+  // model for mixing rules. Never null.
+  const ModelParameters* params = nullptr;
+  double weight = 0.0;  // n_k, the client's sample count
+  int staleness = 0;    // model versions behind the server; sync: 0
+};
+
+class AggregationRule {
+ public:
+  virtual ~AggregationRule() = default;
+
+  virtual std::string name() const = 0;
+
+  // Combines the cohort into the next model. `current` is the model
+  // being replaced; averaging rules ignore it, delta rules fold into
+  // it. Throws std::invalid_argument on an empty cohort, zero/non-
+  // finite total weight, or structure mismatch.
+  virtual ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const = 0;
+};
+
+// Sample-count weighted FedAvg average (paper Eq. W^{r+1}).
+class WeightedAverage : public AggregationRule {
+ public:
+  std::string name() const override { return "weighted_average"; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+};
+
+// Staleness discount s(tau) applied to buffered async updates.
+enum class StalenessDiscount : std::uint8_t {
+  // s(tau) = (1 + tau)^-exponent — FedBuff's polynomial discount.
+  kPolynomial = 0,
+  // s(0) = 1, s(tau >= 1) = constant_factor.
+  kConstant = 1,
+};
+
+struct StalenessPolicy {
+  StalenessDiscount discount = StalenessDiscount::kPolynomial;
+  double poly_exponent = 1.0;    // kPolynomial
+  double constant_factor = 0.3;  // kConstant
+
+  // Discount weight for an update trained on a model `staleness`
+  // versions behind the current one.
+  double weight(int staleness) const;
+};
+
+// current + server_mix * (discounted weighted average of deltas).
+class StalenessDiscountedMix : public AggregationRule {
+ public:
+  StalenessDiscountedMix(StalenessPolicy staleness, double server_mix);
+
+  std::string name() const override { return "staleness_mix"; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+
+ private:
+  StalenessPolicy staleness_;
+  double server_mix_;
+};
+
+}  // namespace fleda

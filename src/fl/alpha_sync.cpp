@@ -6,7 +6,8 @@ namespace fleda {
 
 std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, FederationSim& sim) {
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   if (alpha_ < 0.0 || alpha_ > 1.0) {
     throw std::invalid_argument("AlphaPortionSync: alpha outside [0,1]");
   }
@@ -15,32 +16,47 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
   const ModelParameters initial = ModelParameters::from_model(*init);
 
   const std::vector<double> weights = Server::client_weights(clients);
-  double total_weight = 0.0;
-  for (double w : weights) total_weight += w;
 
   // Per-client deployed models W_k; all start from the common init.
   std::vector<ModelParameters> deployed(clients.size(), initial);
 
   for (int r = 0; r < opts.rounds; ++r) {
+    const std::vector<std::size_t> cohort =
+        select_cohort(participation, r, clients.size(), opts, sim);
     std::vector<const ModelParameters*> deployed_ptrs;
-    for (const auto& d : deployed) deployed_ptrs.push_back(&d);
+    deployed_ptrs.reserve(cohort.size());
+    for (std::size_t k : cohort) deployed_ptrs.push_back(&deployed[k]);
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed_ptrs, opts.client, sim);
+        cohort_local_updates(clients, cohort, deployed_ptrs, opts.client, sim);
 
-    // Customized aggregation per client.
-    for (std::size_t k = 0; k < clients.size(); ++k) {
-      ModelParameters mixed = updates[k];
-      mixed.scale(alpha_);
-      const double others_total = total_weight - weights[k];
-      for (std::size_t j = 0; j < clients.size(); ++j) {
-        if (j == k) continue;
-        const double share =
-            others_total > 0.0
-                ? (1.0 - alpha_) * weights[j] / others_total
-                : 0.0;
-        mixed.add_scaled(updates[j], share);
+    // Customized aggregation per cohort member: its own update gets a
+    // fixed alpha share, the *other cohort members* split (1 - alpha)
+    // by sample count. Absent clients neither contribute nor receive a
+    // new model this round.
+    double cohort_total = 0.0;
+    for (std::size_t k : cohort) cohort_total += weights[k];
+    std::vector<ModelParameters> mixed(cohort.size());
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      const std::size_t k = cohort[i];
+      const double others_total = cohort_total - weights[k];
+      if (others_total <= 0.0) {
+        // Single-member cohort: there is nobody to split (1 - alpha)
+        // with, so the whole mass stays on the member's own update
+        // (scaling by alpha alone would silently shrink the model).
+        mixed[i] = updates[i];
+        continue;
       }
-      deployed[k] = std::move(mixed);
+      ModelParameters m = updates[i];
+      m.scale(alpha_);
+      for (std::size_t j = 0; j < cohort.size(); ++j) {
+        if (j == i) continue;
+        const double share = (1.0 - alpha_) * weights[cohort[j]] / others_total;
+        m.add_scaled(updates[j], share);
+      }
+      mixed[i] = std::move(m);
+    }
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      deployed[cohort[i]] = std::move(mixed[i]);
     }
 
     if (opts.on_round) opts.on_round(r, deployed);

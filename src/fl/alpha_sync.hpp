@@ -19,10 +19,10 @@ class AlphaPortionSync : public FederatedAlgorithm {
   std::string name() const override { return "FedProx + alpha-Portion Sync"; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   double alpha_;

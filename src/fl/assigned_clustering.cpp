@@ -12,7 +12,8 @@ AssignedClustering AssignedClustering::paper_assignment() {
 
 std::vector<ModelParameters> AssignedClustering::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, FederationSim& sim) {
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   if (assignment_.size() != clients.size()) {
     throw std::invalid_argument(
         "AssignedClustering: assignment size != #clients");
@@ -30,23 +31,29 @@ std::vector<ModelParameters> AssignedClustering::run_rounds(
 
   const std::vector<double> weights = Server::client_weights(clients);
   for (int r = 0; r < opts.rounds; ++r) {
+    const std::vector<std::size_t> cohort =
+        select_cohort(participation, r, clients.size(), opts, sim);
     std::vector<const ModelParameters*> deployed;
-    deployed.reserve(clients.size());
-    for (std::size_t k = 0; k < clients.size(); ++k) {
+    deployed.reserve(cohort.size());
+    for (std::size_t k : cohort) {
       deployed.push_back(
           &cluster_models[static_cast<std::size_t>(assignment_[k])]);
     }
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client, sim);
+        cohort_local_updates(clients, cohort, deployed, opts.client, sim);
 
+    // Per-cluster aggregation over this round's sampled members; a
+    // cluster with nobody sampled keeps its model.
     for (int c = 0; c < num_clusters; ++c) {
-      std::vector<std::size_t> members;
-      for (std::size_t k = 0; k < clients.size(); ++k) {
-        if (assignment_[k] == c) members.push_back(k);
+      std::vector<AggregationInput> members;
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        if (assignment_[cohort[i]] == c) {
+          members.push_back({&updates[i], weights[cohort[i]], 0});
+        }
       }
       if (members.empty()) continue;
       cluster_models[static_cast<std::size_t>(c)] =
-          Server::aggregate_subset(updates, weights, members);
+          WeightedAverage().aggregate(ModelParameters{}, members);
     }
 
     if (opts.on_round) {

@@ -20,10 +20,10 @@ class AssignedClustering : public FederatedAlgorithm {
   std::string name() const override { return "Assigned Clustering"; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   std::vector<int> assignment_;

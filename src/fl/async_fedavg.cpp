@@ -19,30 +19,30 @@ AsyncFedAvg::AsyncFedAvg(AsyncConfig config) : config_(config) {
   if (config_.buffer_size <= 0) {
     throw std::invalid_argument("AsyncFedAvg: buffer_size <= 0");
   }
-  if (config_.server_mix <= 0.0) {
-    throw std::invalid_argument("AsyncFedAvg: server_mix <= 0");
-  }
-  if (config_.poly_exponent < 0.0 || config_.constant_factor <= 0.0) {
-    throw std::invalid_argument("AsyncFedAvg: discount must be positive");
-  }
+  // Validates server_mix and the discount parameters.
+  StalenessDiscountedMix(staleness_policy(config_), config_.server_mix);
+}
+
+StalenessPolicy AsyncFedAvg::staleness_policy(const AsyncConfig& config) {
+  StalenessPolicy policy;
+  policy.discount = config.discount;
+  policy.poly_exponent = config.poly_exponent;
+  policy.constant_factor = config.constant_factor;
+  return policy;
 }
 
 double AsyncFedAvg::staleness_weight(const AsyncConfig& config,
                                      int staleness) {
-  if (staleness <= 0) return 1.0;
-  switch (config.discount) {
-    case StalenessDiscount::kPolynomial:
-      return std::pow(1.0 + static_cast<double>(staleness),
-                      -config.poly_exponent);
-    case StalenessDiscount::kConstant:
-      return config.constant_factor;
-  }
-  return 1.0;
+  return staleness_policy(config).weight(staleness);
 }
 
 std::vector<ModelParameters> AsyncFedAvg::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, FederationSim& sim) {
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& /*participation*/) {
+  // Participation policies are a sync-barrier concept; the async loop
+  // is availability-aware by construction (offline clients simply
+  // rejoin when their window ends), so the policy is ignored here.
   Rng rng(opts.seed);
   RoutabilityModelPtr init = factory(rng);
   ModelParameters global = ModelParameters::from_model(*init);
@@ -53,6 +53,8 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   SimEngine& engine = sim.engine();
   Channel& channel = sim.channel();
   const std::vector<double> weights = Server::client_weights(clients);
+  const StalenessDiscountedMix rule(staleness_policy(config_),
+                                    config_.server_mix);
 
   int version = 0;  // completed aggregations, the async "round" counter
   std::vector<Buffered> buffer;
@@ -60,29 +62,15 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   double last_aggregate_time = 0.0;
 
   auto aggregate = [&]() {
-    // global += eta * sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i).
-    ModelParameters acc;
-    double total = 0.0;
+    // global += eta * sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i),
+    // via the pluggable StalenessDiscountedMix aggregation rule.
+    std::vector<AggregationInput> cohort;
+    cohort.reserve(buffer.size());
     for (const Buffered& b : buffer) {
-      const double u =
-          b.weight * staleness_weight(config_, version - b.dispatched_version);
-      if (acc.empty()) {
-        acc = b.delta;
-        acc.scale(u);
-      } else {
-        acc.add_scaled(b.delta, u);
-      }
-      total += u;
+      cohort.push_back(
+          {&b.delta, b.weight, version - b.dispatched_version});
     }
-    if (buffer.empty() || total <= 0.0) {
-      throw std::runtime_error(
-          "AsyncFedAvg: aggregation with empty buffer or zero total "
-          "discounted weight (" +
-          std::to_string(buffer.size()) + " buffered, total weight " +
-          std::to_string(total) + ")");
-    }
-    acc.scale(config_.server_mix / total);
-    global.add_scaled(acc, 1.0);
+    global = rule.aggregate(global, cohort);
     buffer.clear();
     ++version;
     engine.note(SimEventKind::kAggregate, /*client=*/-1, version - 1);

@@ -11,16 +11,14 @@
 // update and rejoin when their window ends.
 #pragma once
 
+#include "fl/aggregation.hpp"
 #include "fl/trainer.hpp"
 
 namespace fleda {
 
-enum class StalenessDiscount : std::uint8_t {
-  // s(tau) = (1 + tau)^-exponent — FedBuff's polynomial discount.
-  kPolynomial = 0,
-  // s(0) = 1, s(tau >= 1) = constant_factor.
-  kConstant = 1,
-};
+// StalenessDiscount lives in fl/aggregation.hpp now (the discount math
+// moved into the pluggable StalenessDiscountedMix rule); AsyncConfig
+// keeps its flat fields as the user-facing knobs.
 
 struct AsyncConfig {
   // Server aggregates once this many updates are buffered. 1 recovers
@@ -40,19 +38,25 @@ class AsyncFedAvg : public FederatedAlgorithm {
   explicit AsyncFedAvg(AsyncConfig config = {});
 
   std::string name() const override { return "AsyncFedAvg"; }
+  // The event-driven loop is availability-aware by construction and
+  // ignores the sync-barrier participation policy.
+  bool uses_participation() const override { return false; }
   const AsyncConfig& config() const { return config_; }
 
   // Discount weight for an update trained on a model `staleness`
-  // versions behind the current one.
+  // versions behind the current one (delegates to StalenessPolicy).
   static double staleness_weight(const AsyncConfig& config, int staleness);
+
+  // The async knobs as an aggregation-layer StalenessPolicy.
+  static StalenessPolicy staleness_policy(const AsyncConfig& config);
 
  protected:
   // opts.rounds counts server aggregations (the async analogue of a
   // round); opts.client.mu is forced to 0 like FedAvg's.
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   AsyncConfig config_;

@@ -2,10 +2,10 @@
 
 namespace fleda {
 
-std::vector<ModelParameters> FedAvg::run_rounds(std::vector<Client>& clients,
-                                                const ModelFactory& factory,
-                                                const FLRunOptions& opts,
-                                                FederationSim& sim) {
+std::vector<ModelParameters> FedAvg::run_rounds(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   Rng rng(opts.seed);
   RoutabilityModelPtr init = factory(rng);
   ModelParameters global = ModelParameters::from_model(*init);
@@ -15,10 +15,12 @@ std::vector<ModelParameters> FedAvg::run_rounds(std::vector<Client>& clients,
 
   const std::vector<double> weights = Server::client_weights(clients);
   for (int r = 0; r < opts.rounds; ++r) {
-    std::vector<const ModelParameters*> deployed(clients.size(), &global);
+    const std::vector<std::size_t> cohort =
+        select_cohort(participation, r, clients.size(), opts, sim);
+    std::vector<const ModelParameters*> deployed(cohort.size(), &global);
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, cfg, sim);
-    global = Server::aggregate(updates, weights);
+        cohort_local_updates(clients, cohort, deployed, cfg, sim);
+    global = Server::aggregate(updates, Server::cohort_weights(weights, cohort));
     if (opts.on_round) {
       opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));
     }

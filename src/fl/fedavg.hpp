@@ -12,10 +12,10 @@ class FedAvg : public FederatedAlgorithm {
   std::string name() const override { return "FedAvg"; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 };
 
 }  // namespace fleda

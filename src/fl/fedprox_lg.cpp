@@ -4,7 +4,8 @@ namespace fleda {
 
 std::vector<ModelParameters> FedProxLG::run_rounds(
     std::vector<Client>& clients, const ModelFactory& factory,
-    const FLRunOptions& opts, FederationSim& sim) {
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   Rng rng(opts.seed);
   RoutabilityModelPtr init = factory(rng);
   ModelParameters global = ModelParameters::from_model(*init);
@@ -16,22 +17,29 @@ std::vector<ModelParameters> FedProxLG::run_rounds(
 
   const std::vector<double> weights = Server::client_weights(clients);
   for (int r = 0; r < opts.rounds; ++r) {
-    // Deploy: client k starts from {G^r, l_k^r}.
+    const std::vector<std::size_t> cohort =
+        select_cohort(participation, r, clients.size(), opts, sim);
+    // Deploy: cohort member k starts from {G^r, l_k^r}; clients outside
+    // the cohort keep their state untouched this round.
     std::vector<ModelParameters> deployed_storage;
-    deployed_storage.reserve(clients.size());
-    for (std::size_t k = 0; k < clients.size(); ++k) {
+    deployed_storage.reserve(cohort.size());
+    for (std::size_t k : cohort) {
       deployed_storage.push_back(client_state[k].merged_with(global, is_global));
     }
     std::vector<const ModelParameters*> deployed;
     for (const auto& d : deployed_storage) deployed.push_back(&d);
 
     std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client, sim);
+        cohort_local_updates(clients, cohort, deployed, opts.client, sim);
 
-    // Server aggregates only the global part; local parts stay put.
-    ModelParameters aggregate = Server::aggregate(updates, weights);
+    // Server aggregates only the cohort's global parts; local parts
+    // stay put on every client.
+    ModelParameters aggregate =
+        Server::aggregate(updates, Server::cohort_weights(weights, cohort));
     global = global.merged_with(aggregate, is_global);
-    client_state = std::move(updates);
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      client_state[cohort[i]] = std::move(updates[i]);
+    }
 
     if (opts.on_round) {
       std::vector<ModelParameters> snapshot;

@@ -20,10 +20,10 @@ class FedProxLG : public FederatedAlgorithm {
   std::string name() const override { return "FedProx-LG"; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   std::function<bool(const std::string&)> is_local_;

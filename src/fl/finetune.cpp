@@ -4,21 +4,23 @@
 
 namespace fleda {
 
-std::vector<ModelParameters> FineTune::run_rounds(std::vector<Client>& clients,
-                                                  const ModelFactory& factory,
-                                                  const FLRunOptions& opts,
-                                                  FederationSim& sim) {
+std::vector<ModelParameters> FineTune::run_rounds(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   std::vector<ModelParameters> finals =
-      run_rounds_of(*base_, clients, factory, opts, sim);
+      run_rounds_of(*base_, clients, factory, opts, sim, participation);
 
+  // Personalization is per-client and local: every client fine-tunes
+  // its final model, whether or not it was sampled in the last round.
   parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t k = begin; k < end; ++k) {
       finals[k] = clients[k].fine_tune(finals[k], finetune_steps_,
                                        opts.client);
     }
   });
-  // Personalization happens client-side (no exchange) but still takes
-  // simulated compute time.
+  // No exchange, but the personalization steps still take simulated
+  // compute time.
   sim.finish_local_round(finetune_steps_);
   return finals;
 }

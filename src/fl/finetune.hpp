@@ -25,10 +25,10 @@ class FineTune : public FederatedAlgorithm {
   // Runs the base algorithm's rounds on the shared simulation, then
   // each client fine-tunes locally (no further communication; the
   // personalization steps still advance the virtual clock).
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   std::unique_ptr<FederatedAlgorithm> base_;

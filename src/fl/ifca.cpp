@@ -6,10 +6,10 @@
 
 namespace fleda {
 
-std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
-                                              const ModelFactory& factory,
-                                              const FLRunOptions& opts,
-                                              FederationSim& sim) {
+std::vector<ModelParameters> IFCA::run_rounds(
+    std::vector<Client>& clients, const ModelFactory& factory,
+    const FLRunOptions& opts, FederationSim& sim,
+    ParticipationPolicy& participation) {
   if (num_clusters_ <= 0) throw std::invalid_argument("IFCA: C <= 0");
   Rng rng(opts.seed);
 
@@ -27,62 +27,87 @@ std::vector<ModelParameters> IFCA::run_rounds(std::vector<Client>& clients,
   const std::size_t C = static_cast<std::size_t>(num_clusters_);
 
   for (int r = 0; r < opts.rounds; ++r) {
-    // 1) Selection broadcast: IFCA ships ALL C cluster models to every
-    // client each round (its dominant communication cost — billed as
-    // K*C downlink messages, one wave per cluster model so each
-    // client's C serial downloads count toward round latency). Clients
-    // select on what they decode.
-    std::vector<std::shared_ptr<const ModelParameters>> received;  // [c]
-    received.reserve(C);
-    for (std::size_t c = 0; c < C; ++c) {
-      std::vector<const ModelParameters*> wave(clients.size(),
-                                               &cluster_models[c]);
-      received.push_back(sim.channel().broadcast(wave).front());
+    const std::vector<std::size_t> cohort =
+        select_cohort(participation, r, clients.size(), opts, sim);
+    if (cohort.empty()) {
+      // Nobody reachable: every cluster model carries over (same
+      // semantics as a dead cluster), the round still closes.
+      sim.finish_sync_round(opts.client.steps, cohort);
+      if (opts.on_round) {
+        std::vector<ModelParameters> snapshot;
+        for (std::size_t k = 0; k < clients.size(); ++k) {
+          snapshot.push_back(
+              cluster_models[static_cast<std::size_t>(assignment_[k])]);
+        }
+        opts.on_round(r, snapshot);
+      }
+      continue;
     }
 
-    // 2) Cluster selection: lowest training loss among the C models.
-    parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
-      for (std::size_t k = begin; k < end; ++k) {
+    // 1) Selection broadcast: IFCA ships ALL C cluster models to every
+    // cohort member each round (its dominant communication cost —
+    // billed as |cohort|*C downlink messages, one wave per cluster
+    // model so each member's C serial downloads count toward round
+    // latency). Members select on what they decode.
+    std::vector<std::vector<std::shared_ptr<const ModelParameters>>>
+        waves;  // [c][cohort position]
+    waves.reserve(C);
+    for (std::size_t c = 0; c < C; ++c) {
+      std::vector<const ModelParameters*> wave(cohort.size(),
+                                               &cluster_models[c]);
+      waves.push_back(sim.channel().broadcast(wave, cohort));
+    }
+
+    // 2) Cluster selection: lowest training loss among the C models,
+    // for this round's cohort; absent clients keep their assignment.
+    parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
         double best_loss = 1e300;
         int best_c = 0;
         for (std::size_t c = 0; c < C; ++c) {
-          const double loss = clients[k].evaluate_train_loss(
-              *received[c], selection_batches_);
+          const double loss = clients[cohort[i]].evaluate_train_loss(
+              *waves[c][i], selection_batches_);
           if (loss < best_loss) {
             best_loss = loss;
             best_c = static_cast<int>(c);
           }
         }
-        assignment_[k] = best_c;
+        assignment_[cohort[i]] = best_c;
       }
     });
 
     // 3) Local training of the chosen cluster model — already on the
     // client from the selection broadcast, so no second download.
     std::vector<const ModelParameters*> deployed;
-    deployed.reserve(clients.size());
-    for (std::size_t k = 0; k < clients.size(); ++k) {
+    deployed.reserve(cohort.size());
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
       deployed.push_back(
-          received[static_cast<std::size_t>(assignment_[k])].get());
+          waves[static_cast<std::size_t>(assignment_[cohort[i]])][i].get());
     }
-    std::vector<ModelParameters> updates =
-        parallel_local_updates(clients, deployed, opts.client);
+    std::vector<ModelParameters> updates(cohort.size());
+    parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        updates[i] = clients[cohort[i]].local_update(*deployed[i], opts.client);
+      }
+    });
 
     // 4) Uplink through the channel; the decoded deployment is the
     // shared delta reference, then the barrier policy prices the round
-    // (each client's C serial downloads are in its billed traffic).
-    updates = sim.channel().collect(updates, deployed);
-    sim.finish_sync_round(opts.client.steps);
+    // (each member's C serial downloads are in its billed traffic).
+    updates = sim.channel().collect(updates, deployed, cohort);
+    sim.finish_sync_round(opts.client.steps, cohort);
 
     // 5) Per-cluster aggregation over this round's members.
     for (int c = 0; c < num_clusters_; ++c) {
-      std::vector<std::size_t> members;
-      for (std::size_t k = 0; k < clients.size(); ++k) {
-        if (assignment_[k] == c) members.push_back(k);
+      std::vector<AggregationInput> members;
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        if (assignment_[cohort[i]] == c) {
+          members.push_back({&updates[i], weights[cohort[i]], 0});
+        }
       }
       if (members.empty()) continue;  // dead cluster keeps its model
       cluster_models[static_cast<std::size_t>(c)] =
-          Server::aggregate_subset(updates, weights, members);
+          WeightedAverage().aggregate(ModelParameters{}, members);
     }
 
     if (opts.on_round) {

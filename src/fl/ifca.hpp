@@ -21,10 +21,10 @@ class IFCA : public FederatedAlgorithm {
   const std::vector<int>& final_assignment() const { return assignment_; }
 
  protected:
-  std::vector<ModelParameters> run_rounds(std::vector<Client>& clients,
-                                          const ModelFactory& factory,
-                                          const FLRunOptions& opts,
-                                          FederationSim& sim) override;
+  std::vector<ModelParameters> run_rounds(
+      std::vector<Client>& clients, const ModelFactory& factory,
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) override;
 
  private:
   int num_clusters_;

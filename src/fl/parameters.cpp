@@ -60,7 +60,9 @@ ModelParameters ModelParameters::weighted_average(
     const std::vector<const ModelParameters*>& snapshots,
     const std::vector<double>& weights) {
   if (snapshots.empty()) {
-    throw std::invalid_argument("weighted_average: no snapshots");
+    throw std::invalid_argument(
+        "weighted_average: no snapshots — cannot average an empty cohort "
+        "(did the participation policy sample only offline clients?)");
   }
   if (snapshots.size() != weights.size()) {
     throw std::invalid_argument(

@@ -1,0 +1,102 @@
+#include "fl/participation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fleda {
+
+std::vector<std::size_t> FullParticipation::select(
+    const ParticipationContext& ctx) {
+  std::vector<std::size_t> cohort(ctx.num_clients);
+  std::iota(cohort.begin(), cohort.end(), std::size_t{0});
+  return cohort;
+}
+
+UniformSample::UniformSample(int sample_size, std::uint64_t seed)
+    : sample_size_(sample_size), rng_(seed) {}
+
+std::string UniformSample::name() const {
+  return "uniform_sample(" + std::to_string(sample_size_) + ")";
+}
+
+std::vector<std::size_t> UniformSample::select(
+    const ParticipationContext& ctx) {
+  std::vector<std::size_t> all(ctx.num_clients);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (sample_size_ <= 0 ||
+      static_cast<std::size_t>(sample_size_) >= ctx.num_clients) {
+    return all;
+  }
+  const std::size_t c = static_cast<std::size_t>(sample_size_);
+  // Partial Fisher-Yates: the first c entries become the sample. The
+  // rng advances by exactly c draws per round, so the cohort sequence
+  // depends only on (seed, round), never on thread scheduling.
+  for (std::size_t i = 0; i < c; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng_.uniform_int(ctx.num_clients - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(c);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+AvailabilityAware::AvailabilityAware(
+    std::unique_ptr<ParticipationPolicy> base)
+    : base_(std::move(base)) {}
+
+std::string AvailabilityAware::name() const {
+  return base_ ? "availability(" + base_->name() + ")" : "availability";
+}
+
+std::vector<std::size_t> AvailabilityAware::select(
+    const ParticipationContext& ctx) {
+  std::vector<std::size_t> cohort;
+  if (base_) {
+    cohort = base_->select(ctx);
+  } else {
+    cohort.resize(ctx.num_clients);
+    std::iota(cohort.begin(), cohort.end(), std::size_t{0});
+  }
+  if (ctx.sim == nullptr) return cohort;  // no profiles: everyone online
+  std::vector<std::size_t> online;
+  online.reserve(cohort.size());
+  for (std::size_t k : cohort) {
+    if (ctx.sim->profile(k).is_online(ctx.now)) online.push_back(k);
+  }
+  return online;
+}
+
+std::string to_string(ParticipationKind kind) {
+  switch (kind) {
+    case ParticipationKind::kFull:
+      return "full";
+    case ParticipationKind::kUniformSample:
+      return "uniform_sample";
+    case ParticipationKind::kAvailabilityAware:
+      return "availability_aware";
+  }
+  return "?";
+}
+
+std::unique_ptr<ParticipationPolicy> make_participation_policy(
+    const ParticipationConfig& config) {
+  switch (config.kind) {
+    case ParticipationKind::kFull:
+      return std::make_unique<FullParticipation>();
+    case ParticipationKind::kUniformSample:
+      return std::make_unique<UniformSample>(config.sample_size, config.seed);
+    case ParticipationKind::kAvailabilityAware: {
+      std::unique_ptr<ParticipationPolicy> base;
+      if (config.sample_size > 0) {
+        base = std::make_unique<UniformSample>(config.sample_size,
+                                               config.seed);
+      }
+      return std::make_unique<AvailabilityAware>(std::move(base));
+    }
+  }
+  throw std::invalid_argument("make_participation_policy: unknown kind");
+}
+
+}  // namespace fleda

@@ -1,0 +1,114 @@
+// ParticipationPolicy: the strategy that decides *who takes part* in a
+// synchronous round. Historically the round loop was frozen into every
+// FederatedAlgorithm subclass as "all K clients, every round"; the
+// policy factors that decision out so client sampling and availability
+// handling compose with any algorithm instead of being re-implemented
+// in each run_rounds body.
+//
+// A policy returns the round's cohort as ascending client indices.
+// Algorithms deploy to, train, collect from and aggregate over exactly
+// that cohort, and FederationSim::finish_sync_round only schedules and
+// bills the cohort — per-round cost is O(|cohort|), not O(K), which is
+// what makes thousand-client federations affordable.
+//
+// Policies are created per run (FederatedAlgorithm::run owns one) and
+// are stateful: UniformSample advances its own Rng once per select, so
+// a fixed seed replays the same cohort sequence regardless of host
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/profile.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+
+// Everything a policy may consult when picking a cohort.
+struct ParticipationContext {
+  int round = 0;               // round index within the run
+  std::size_t num_clients = 0; // K
+  double now = 0.0;            // virtual clock at round start
+  // Client profiles (availability windows); may be null in direct,
+  // engine-less use — policies must then treat every client as online.
+  const SimConfig* sim = nullptr;
+};
+
+class ParticipationPolicy {
+ public:
+  virtual ~ParticipationPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // The round's cohort, as strictly ascending client indices in
+  // [0, ctx.num_clients). May be empty (nobody reachable) — the
+  // aggregation layer then refuses the round with a descriptive error
+  // rather than averaging zero clients.
+  virtual std::vector<std::size_t> select(const ParticipationContext& ctx) = 0;
+};
+
+// Every client, every round — bit-identical to the pre-policy barrier.
+class FullParticipation : public ParticipationPolicy {
+ public:
+  std::string name() const override { return "full"; }
+  std::vector<std::size_t> select(const ParticipationContext& ctx) override;
+};
+
+// C clients drawn uniformly without replacement each round (FedAvg's
+// classic client sampling). sample_size <= 0 or >= K degenerates to
+// full participation. Deterministic for a fixed seed: the policy's own
+// Rng advances once per round, on the caller's thread.
+class UniformSample : public ParticipationPolicy {
+ public:
+  explicit UniformSample(int sample_size, std::uint64_t seed = 0x5A3D1EULL);
+
+  std::string name() const override;
+  std::vector<std::size_t> select(const ParticipationContext& ctx) override;
+
+ private:
+  int sample_size_;
+  Rng rng_;
+};
+
+// Filters a base cohort (full participation by default, or a sampler)
+// down to the clients whose ClientProfile is online at round start —
+// the sync barrier *skips* unreachable clients instead of stalling on
+// them until their offline window ends.
+class AvailabilityAware : public ParticipationPolicy {
+ public:
+  // base == nullptr means filter the full client set.
+  explicit AvailabilityAware(std::unique_ptr<ParticipationPolicy> base = nullptr);
+
+  std::string name() const override;
+  std::vector<std::size_t> select(const ParticipationContext& ctx) override;
+
+ private:
+  std::unique_ptr<ParticipationPolicy> base_;
+};
+
+// Declarative form carried by FLRunOptions / ExperimentConfig.
+enum class ParticipationKind : std::uint8_t {
+  kFull = 0,
+  kUniformSample = 1,
+  // Online-filtered cohort; combined with sample_size > 0 the filter
+  // applies to the sampled cohort (so a round can be smaller than C).
+  kAvailabilityAware = 2,
+};
+
+std::string to_string(ParticipationKind kind);
+
+struct ParticipationConfig {
+  ParticipationKind kind = ParticipationKind::kFull;
+  // C for kUniformSample / kAvailabilityAware; <= 0 means all clients.
+  int sample_size = 0;
+  // Seed of the cohort-sampling stream (independent of model init).
+  std::uint64_t seed = 0x5A3D1EULL;
+};
+
+std::unique_ptr<ParticipationPolicy> make_participation_policy(
+    const ParticipationConfig& config);
+
+}  // namespace fleda

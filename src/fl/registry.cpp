@@ -1,0 +1,101 @@
+#include "fl/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "fl/alpha_sync.hpp"
+#include "fl/assigned_clustering.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/fedprox.hpp"
+#include "fl/fedprox_lg.hpp"
+#include "fl/finetune.hpp"
+#include "fl/ifca.hpp"
+
+namespace fleda {
+namespace {
+
+void register_builtins(AlgorithmRegistry& registry) {
+  registry.add("fedavg", [](const AlgorithmOptions&) {
+    return std::make_unique<FedAvg>();
+  });
+  registry.add("fedprox", [](const AlgorithmOptions&) {
+    return std::make_unique<FedProx>();
+  });
+  registry.add("fedprox_lg", [](const AlgorithmOptions&) {
+    return std::make_unique<FedProxLG>();
+  });
+  registry.add("ifca", [](const AlgorithmOptions& o) {
+    return std::make_unique<IFCA>(o.num_clusters, o.selection_batches);
+  });
+  registry.add("fedprox_finetune", [](const AlgorithmOptions& o) {
+    return std::make_unique<FineTune>(std::make_unique<FedProx>(),
+                                      o.finetune_steps);
+  });
+  registry.add("assigned_clustering", [](const AlgorithmOptions& o) {
+    if (o.cluster_assignment.empty()) {
+      return std::make_unique<AssignedClustering>(
+          AssignedClustering::paper_assignment());
+    }
+    return std::make_unique<AssignedClustering>(o.cluster_assignment);
+  });
+  registry.add("alpha_sync", [](const AlgorithmOptions& o) {
+    return std::make_unique<AlphaPortionSync>(o.alpha_portion);
+  });
+  registry.add("async_fedavg", [](const AlgorithmOptions& o) {
+    return std::make_unique<AsyncFedAvg>(o.async);
+  });
+}
+
+}  // namespace
+
+AlgorithmRegistry& AlgorithmRegistry::global() {
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AlgorithmRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("AlgorithmRegistry::add: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("AlgorithmRegistry::add: null factory for '" +
+                                name + "'");
+  }
+  if (!factories_.emplace(std::move(name), std::move(factory)).second) {
+    throw std::invalid_argument(
+        "AlgorithmRegistry::add: duplicate registration");
+  }
+}
+
+bool AlgorithmRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::unique_ptr<FederatedAlgorithm> AlgorithmRegistry::create(
+    std::string_view name, const AlgorithmOptions& options) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("AlgorithmRegistry: unknown algorithm '" +
+                                std::string(name) + "' (registered: " + known +
+                                ")");
+  }
+  return it->second(options);
+}
+
+}  // namespace fleda

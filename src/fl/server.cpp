@@ -13,6 +13,15 @@ std::vector<double> Server::client_weights(const std::vector<Client>& clients) {
   return weights;
 }
 
+std::vector<double> Server::cohort_weights(
+    const std::vector<double>& weights,
+    const std::vector<std::size_t>& cohort) {
+  std::vector<double> out;
+  out.reserve(cohort.size());
+  for (std::size_t k : cohort) out.push_back(weights.at(k));
+  return out;
+}
+
 ModelParameters Server::aggregate(const std::vector<ModelParameters>& updates,
                                   const std::vector<double>& weights) {
   if (updates.size() != weights.size()) {
@@ -20,10 +29,12 @@ ModelParameters Server::aggregate(const std::vector<ModelParameters>& updates,
         "Server::aggregate: " + std::to_string(updates.size()) +
         " updates but " + std::to_string(weights.size()) + " weights");
   }
-  std::vector<const ModelParameters*> ptrs;
-  ptrs.reserve(updates.size());
-  for (const auto& u : updates) ptrs.push_back(&u);
-  return ModelParameters::weighted_average(ptrs, weights);
+  std::vector<AggregationInput> cohort;
+  cohort.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    cohort.push_back({&updates[i], weights[i], 0});
+  }
+  return WeightedAverage().aggregate(ModelParameters{}, cohort);
 }
 
 ModelParameters Server::aggregate_subset(
@@ -40,13 +51,12 @@ ModelParameters Server::aggregate_subset(
         "Server::aggregate_subset: " + std::to_string(updates.size()) +
         " updates but " + std::to_string(weights.size()) + " weights");
   }
-  std::vector<const ModelParameters*> ptrs;
-  std::vector<double> w;
+  std::vector<AggregationInput> cohort;
+  cohort.reserve(members.size());
   for (std::size_t m : members) {
-    ptrs.push_back(&updates.at(m));
-    w.push_back(weights.at(m));
+    cohort.push_back({&updates.at(m), weights.at(m), 0});
   }
-  return ModelParameters::weighted_average(ptrs, w);
+  return WeightedAverage().aggregate(ModelParameters{}, cohort);
 }
 
 }  // namespace fleda

@@ -2,10 +2,17 @@
 // clients, which never sees data — it only aggregates ModelParameters
 // weighted by each client's sample count (n_k / n), as in
 // W^{r+1} = sum_k (n_k / n) w_k^r.
+//
+// The actual averaging math lives in fl/aggregation.hpp
+// (WeightedAverage); these statics are the convenience facade the
+// round loops use, now cohort-aware: under a ParticipationPolicy an
+// algorithm aggregates `cohort_weights`-weighted updates from the
+// sampled members only.
 #pragma once
 
 #include <vector>
 
+#include "fl/aggregation.hpp"
 #include "fl/client.hpp"
 #include "fl/parameters.hpp"
 
@@ -16,7 +23,16 @@ class Server {
   // Sample-count weights n_k for a set of clients.
   static std::vector<double> client_weights(const std::vector<Client>& clients);
 
-  // Weighted FedAvg aggregation of client updates.
+  // n_k for the cohort's members only, cohort-indexed (pairs with the
+  // cohort-indexed updates cohort_local_updates returns).
+  static std::vector<double> cohort_weights(
+      const std::vector<double>& weights,
+      const std::vector<std::size_t>& cohort);
+
+  // Weighted FedAvg aggregation of client updates (WeightedAverage
+  // rule). Throws a descriptive std::invalid_argument on an empty
+  // update set or zero total weight — an all-offline sampled cohort
+  // must fail loudly, not divide by zero.
   static ModelParameters aggregate(const std::vector<ModelParameters>& updates,
                                    const std::vector<double>& weights);
 

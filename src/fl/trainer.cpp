@@ -14,8 +14,10 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
   SimEngine engine(opts.sim, opts.comm, clients.size());
   engine.set_trace_enabled(opts.trace);
   FederationSim sim(channel, engine);
+  std::unique_ptr<ParticipationPolicy> participation =
+      make_participation_policy(opts.participation);
   std::vector<ModelParameters> finals =
-      run_rounds(clients, factory, opts, sim);
+      run_rounds(clients, factory, opts, sim, *participation);
   if (opts.comm_stats != nullptr) *opts.comm_stats = channel.stats();
   if (opts.sim_report != nullptr) *opts.sim_report = engine.report();
   return finals;
@@ -24,8 +26,19 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
 std::vector<ModelParameters> FederatedAlgorithm::run_rounds_of(
     FederatedAlgorithm& algo, std::vector<Client>& clients,
     const ModelFactory& factory, const FLRunOptions& opts,
-    FederationSim& sim) {
-  return algo.run_rounds(clients, factory, opts, sim);
+    FederationSim& sim, ParticipationPolicy& participation) {
+  return algo.run_rounds(clients, factory, opts, sim, participation);
+}
+
+std::vector<std::size_t> FederatedAlgorithm::select_cohort(
+    ParticipationPolicy& participation, int round, std::size_t num_clients,
+    const FLRunOptions& opts, const FederationSim& sim) {
+  ParticipationContext ctx;
+  ctx.round = round;
+  ctx.num_clients = num_clients;
+  ctx.now = sim.now();
+  ctx.sim = &opts.sim;
+  return participation.select(ctx);
 }
 
 std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
@@ -51,15 +64,44 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
   if (clients.size() != deployed.size()) {
     throw std::invalid_argument("parallel_local_updates: size mismatch");
   }
+  std::vector<std::size_t> everyone(clients.size());
+  for (std::size_t k = 0; k < everyone.size(); ++k) everyone[k] = k;
+  return cohort_local_updates(clients, everyone, deployed, cfg, sim);
+}
+
+std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
+    std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
+    const std::vector<const ModelParameters*>& deployed,
+    const ClientTrainConfig& cfg, FederationSim& sim) {
+  if (cohort.size() != deployed.size()) {
+    throw std::invalid_argument("cohort_local_updates: size mismatch");
+  }
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    if (cohort[i] >= clients.size()) {
+      throw std::out_of_range("cohort_local_updates: client index " +
+                              std::to_string(cohort[i]) + " >= " +
+                              std::to_string(clients.size()));
+    }
+    // The channel's parallel encode/decode touches per-client state
+    // (error-feedback residuals, downlink references), which is only
+    // safe for distinct indices — require the policies' strictly
+    // ascending order instead of racing on duplicates.
+    if (i > 0 && cohort[i] <= cohort[i - 1]) {
+      throw std::invalid_argument(
+          "cohort_local_updates: cohort indices must be strictly ascending "
+          "(got " + std::to_string(cohort[i]) + " after " +
+          std::to_string(cohort[i - 1]) + ")");
+    }
+  }
   Channel& channel = sim.channel();
-  // Downlink: clients train from what they decode, not from the
+  // Downlink: cohort members train from what they decode, not from the
   // server-side snapshot — a lossy codec's error feeds into training.
   const std::vector<std::shared_ptr<const ModelParameters>> received =
-      channel.broadcast(deployed);
-  std::vector<ModelParameters> updates(clients.size());
-  parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t k = begin; k < end; ++k) {
-      updates[k] = clients[k].local_update(*received[k], cfg);
+      channel.broadcast(deployed, cohort);
+  std::vector<ModelParameters> updates(cohort.size());
+  parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      updates[i] = clients[cohort[i]].local_update(*received[i], cfg);
     }
   });
   // Uplink: the decoded deployment is the shared reference for delta
@@ -68,10 +110,10 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
   references.reserve(received.size());
   for (const auto& r : received) references.push_back(r.get());
   std::vector<ModelParameters> collected =
-      channel.collect(updates, references);
+      channel.collect(updates, references, cohort);
   // Barrier policy: the round's events run on the virtual clock and
-  // the round closes at the slowest client's upload.
-  sim.finish_sync_round(cfg.steps);
+  // the round closes at the slowest cohort member's upload.
+  sim.finish_sync_round(cfg.steps, cohort);
   return collected;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fl/client.hpp"
+#include "fl/participation.hpp"
 #include "fl/server.hpp"
 #include "sim/federation.hpp"
 
@@ -29,6 +30,11 @@ struct FLRunOptions {
   int rounds = 50;  // R (for AsyncFedAvg: number of server aggregations)
   ClientTrainConfig client;
   std::uint64_t seed = 1;  // initialization seed for global model(s)
+  // Who takes part in each synchronous round (full participation,
+  // uniform client sampling, availability-aware skipping). The
+  // event-driven asynchronous algorithms ignore this: every client
+  // runs its own loop and offline clients simply rejoin later.
+  ParticipationConfig participation;
   // Parameter-exchange transport: every deployment/upload of the round
   // loop goes through a Channel built from this config. The default
   // (Fp32 both ways) is lossless and bit-identical to a direct
@@ -55,10 +61,17 @@ class FederatedAlgorithm {
 
   virtual std::string name() const = 0;
 
+  // Whether run_rounds consults the ParticipationPolicy. Event-driven
+  // algorithms (AsyncFedAvg) return false: every client runs its own
+  // loop, so reporting layers must not claim a sampling policy was
+  // applied.
+  virtual bool uses_participation() const { return true; }
+
   // Runs the full decentralized training; returns per-client final
   // models (size == clients.size()). Owns the simulation lifecycle
-  // (template method): builds a Channel from opts.comm and a SimEngine
-  // from opts.sim, hands the bound FederationSim to run_rounds, and
+  // (template method): builds a Channel from opts.comm, a SimEngine
+  // from opts.sim and a ParticipationPolicy from opts.participation,
+  // hands the bound FederationSim and the policy to run_rounds, and
   // exports the cumulative channel stats / sim report afterwards — so
   // no algorithm can forget the accounting.
   std::vector<ModelParameters> run(std::vector<Client>& clients,
@@ -66,17 +79,26 @@ class FederatedAlgorithm {
                                    const FLRunOptions& opts);
 
  protected:
-  // Algorithm body: R rounds of parameter exchange scheduled on `sim`.
+  // Algorithm body: R rounds of parameter exchange scheduled on `sim`,
+  // each round's cohort drawn from `participation` (stateful per run).
   virtual std::vector<ModelParameters> run_rounds(
       std::vector<Client>& clients, const ModelFactory& factory,
-      const FLRunOptions& opts, FederationSim& sim) = 0;
+      const FLRunOptions& opts, FederationSim& sim,
+      ParticipationPolicy& participation) = 0;
 
   // Lets wrapper algorithms (FineTune) run their base algorithm's
   // rounds on the shared outer simulation despite protected access.
   static std::vector<ModelParameters> run_rounds_of(
       FederatedAlgorithm& algo, std::vector<Client>& clients,
       const ModelFactory& factory, const FLRunOptions& opts,
-      FederationSim& sim);
+      FederationSim& sim, ParticipationPolicy& participation);
+
+  // The round's cohort from `participation`, evaluated at the current
+  // virtual-clock time (one policy call per round, on this thread).
+  static std::vector<std::size_t> select_cohort(
+      ParticipationPolicy& participation, int round,
+      std::size_t num_clients, const FLRunOptions& opts,
+      const FederationSim& sim);
 
   // Runs local_update on every client in parallel (each client only
   // touches its own model and data). deployed[k] is what client k
@@ -88,14 +110,24 @@ class FederatedAlgorithm {
       const std::vector<const ModelParameters*>& deployed,
       const ClientTrainConfig& cfg);
 
-  // Sync-barrier exchange round on the simulation engine. Broadcasts
-  // deployed[k] down the channel, trains each client from what it
-  // decoded, collects the updates back up (delta codecs encode against
-  // the decoded deployment), schedules the per-client transfer/compute
-  // events and closes the round at the slowest client. Returns the
-  // server-side view of the updates.
+  // Sync-barrier exchange round on the simulation engine, over the
+  // full client set: broadcasts deployed[k] down the channel, trains
+  // each client from what it decoded, collects the updates back up
+  // (delta codecs encode against the decoded deployment), schedules
+  // the per-client transfer/compute events and closes the round at the
+  // slowest client. Returns the server-side view of the updates.
   static std::vector<ModelParameters> parallel_local_updates(
       std::vector<Client>& clients,
+      const std::vector<const ModelParameters*>& deployed,
+      const ClientTrainConfig& cfg, FederationSim& sim);
+
+  // Cohort form of the sync exchange round: deployed[i] goes to client
+  // cohort[i], only cohort members train, upload and are billed, and
+  // the barrier closes at the slowest *member* — the building block
+  // every synchronous algorithm now composes with a
+  // ParticipationPolicy. Returns cohort-indexed server-side updates.
+  static std::vector<ModelParameters> cohort_local_updates(
+      std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
       const std::vector<const ModelParameters*>& deployed,
       const ClientTrainConfig& cfg, FederationSim& sim);
 };

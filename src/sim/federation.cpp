@@ -17,12 +17,20 @@ std::vector<ClientLink> links_from_profiles(const SimConfig& config,
 }
 
 void FederationSim::finish_sync_round(int steps) {
+  const std::size_t n =
+      std::max(engine_.num_clients(), channel_.round_traffic().size());
+  std::vector<std::size_t> everyone(n);
+  for (std::size_t k = 0; k < n; ++k) everyone[k] = k;
+  finish_sync_round(steps, everyone);
+}
+
+void FederationSim::finish_sync_round(int steps,
+                                      const std::vector<std::size_t>& cohort) {
   const double t0 = engine_.now();
   const int round = round_index_++;
   const std::vector<ClientRoundTraffic>& traffic = channel_.round_traffic();
-  const std::size_t n = std::max(engine_.num_clients(), traffic.size());
   double barrier = t0;
-  for (std::size_t k = 0; k < n; ++k) {
+  for (std::size_t k : cohort) {
     const ClientRoundTraffic t =
         k < traffic.size() ? traffic[k] : ClientRoundTraffic{};
     const bool exchanged = t.downlink_messages + t.uplink_messages > 0;

@@ -5,10 +5,14 @@
 // virtual clock:
 //
 //   finish_sync_round  — the barrier policy used by every synchronous
-//     algorithm: per client, schedule download-complete, compute-
-//     complete and upload-complete events (waiting out offline
-//     windows), release the barrier at the slowest client's upload,
-//     and close the channel round with the resulting duration.
+//     algorithm: per cohort member, schedule download-complete,
+//     compute-complete and upload-complete events (waiting out offline
+//     windows), release the barrier at the slowest member's upload,
+//     and close the channel round with the resulting duration. Clients
+//     outside the cohort are neither scheduled nor billed — under a
+//     sampling ParticipationPolicy a round costs O(|cohort|), and an
+//     AvailabilityAware cohort skips offline clients instead of
+//     stalling the barrier on them.
 //   finish_local_round — compute-only (FineTune's client-side
 //     personalization): advances the clock past the slowest client's
 //     local steps without touching the channel.
@@ -35,10 +39,13 @@ class FederationSim {
   SimEngine& engine() { return engine_; }
   double now() const { return engine_.now(); }
 
-  // Sync barrier: schedules each client's (download -> `steps` local
-  // steps -> upload) chain from the traffic billed this round, runs
-  // the events, and closes the channel round at the slowest client.
+  // Sync barrier over a cohort: schedules each member's (download ->
+  // `steps` local steps -> upload) chain from the traffic billed this
+  // round, runs the events, and closes the channel round at the
+  // slowest member. The no-cohort overload keeps the historical
+  // full-participation barrier (every client with billed traffic).
   void finish_sync_round(int steps);
+  void finish_sync_round(int steps, const std::vector<std::size_t>& cohort);
 
   // Compute-only phase, no exchange and no channel round entry.
   void finish_local_round(int steps);

@@ -221,15 +221,91 @@ TEST(Channel, BroadcastBillsPerRecipientButEncodesOnce) {
   }
 }
 
-TEST(Channel, TopKDeltaDownlinkIsRejected) {
-  // No shared downlink reference exists, so a TopKDelta downlink would
-  // silently zero most deployed weights — the channel refuses it.
+TEST(Channel, TopKDeltaDownlinkTracksPerClientReference) {
+  // A delta downlink needs a reference both sides hold. The channel
+  // tracks, per client, the snapshot that client last decoded, so the
+  // second broadcast encodes deltas against it instead of nullptr
+  // (which used to silently zero ~(1-k/n) of the deployed weights —
+  // the channel rejected the codec outright before the fix).
+  const ModelParameters g1 = snapshot(ModelKind::kFLNet, 61);
+  ModelParameters g2 = g1;
+  // Nudge a single entry by far more than any weight or round-1
+  // residual: the round-2 delta at that index is certain to be kept.
+  g2.mutable_entries()[0].value[0] += 10.0f;
+
   CommConfig config;
   config.downlink = CodecKind::kTopKDelta;
-  EXPECT_THROW(Channel{config}, std::invalid_argument);
-  config.downlink = CodecKind::kFp32;
-  config.uplink = CodecKind::kTopKDelta;  // uplink delta is fine
-  Channel ok(config);
+  config.topk_fraction = 0.01;
+  Channel channel(config);
+
+  std::vector<const ModelParameters*> wave(2, &g1);
+  const auto r1 = channel.broadcast(wave);
+  // First contact: delta against zeros keeps only the top 1% of g1.
+  EXPECT_GT(max_abs_error(g1, *r1[0]), 0.0);
+
+  wave.assign(2, &g2);
+  const auto r2 = channel.broadcast(wave);
+  // Round 2 encodes against what each client decoded in round 1; the
+  // dominant delta entry is kept, so decode = reference + delta
+  // reconstructs the changed entry exactly.
+  for (const auto& r : r2) {
+    EXPECT_FLOAT_EQ(r->entries()[0].value[0], g2.entries()[0].value[0]);
+  }
+}
+
+TEST(Channel, TopKDeltaDownlinkReferencesAreIndependentPerClient) {
+  // Clients sampled in different rounds hold different references; the
+  // server must encode against each client's own last decode. Client 0
+  // sees g1 then g2; client 1 first hears from the server at g2 and
+  // must still reconstruct (its delta encodes against zeros).
+  const ModelParameters g1 = snapshot(ModelKind::kFLNet, 62);
+  ModelParameters g2 = g1;
+  g2.mutable_entries()[0].value[0] += 10.0f;
+
+  CommConfig config;
+  config.downlink = CodecKind::kTopKDelta;
+  config.topk_fraction = 0.01;
+  Channel channel(config);
+
+  std::vector<const ModelParameters*> only_zero = {&g1};
+  const auto r1 = channel.broadcast(only_zero, {0});
+
+  std::vector<const ModelParameters*> both = {&g2, &g2};
+  const auto r2 = channel.broadcast(both, {0, 1});
+  // Same snapshot, different references -> distinct payloads/decodes.
+  EXPECT_NE(r2[0].get(), r2[1].get());
+  // Client 0's decode builds on its round-1 state; the dominant delta
+  // entry is kept, so the changed entry reconstructs exactly.
+  EXPECT_FLOAT_EQ(r2[0]->entries()[0].value[0], g2.entries()[0].value[0]);
+  // Client 1's decode is a fresh top-k of g2 (sparse, but consistent:
+  // no crosstalk from client 0's reference).
+  EXPECT_GT(max_abs_error(g2, *r2[1]), 0.0);
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.downlink_messages, 3u);
+}
+
+TEST(Channel, CohortBroadcastAndCollectBillOnlySampledClients) {
+  const ModelParameters global = snapshot(ModelKind::kFLNet, 63);
+  Channel channel{CommConfig{}};
+  // 5-client federation, cohort = {1, 3}.
+  std::vector<const ModelParameters*> deployed(2, &global);
+  const auto received = channel.broadcast(deployed, {1, 3});
+  ASSERT_EQ(received.size(), 2u);
+  std::vector<ModelParameters> updates = {*received[0], *received[1]};
+  std::vector<const ModelParameters*> refs = {received[0].get(),
+                                              received[1].get()};
+  channel.collect(updates, refs, {1, 3});
+  const auto& traffic = channel.round_traffic();
+  ASSERT_GE(traffic.size(), 4u);
+  EXPECT_EQ(traffic[1].downlink_messages, 1u);
+  EXPECT_EQ(traffic[1].uplink_messages, 1u);
+  EXPECT_EQ(traffic[3].downlink_messages, 1u);
+  EXPECT_EQ(traffic[3].uplink_messages, 1u);
+  EXPECT_EQ(traffic[0].downlink_messages, 0u);
+  EXPECT_EQ(traffic[2].downlink_messages, 0u);
+  EXPECT_EQ(channel.stats().downlink_bytes, 2 * raw_wire_bytes(global));
+  EXPECT_THROW(channel.broadcast(deployed, {1}), std::invalid_argument);
+  EXPECT_THROW(channel.collect(updates, refs, {1}), std::invalid_argument);
 }
 
 TEST(Channel, SerialBroadcastWavesAccumulateLatency) {

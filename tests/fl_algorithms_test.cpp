@@ -5,8 +5,13 @@
 // separate), proximal-term behaviour, and baseline trainers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
 
+#include "fl/aggregation.hpp"
 #include "fl/alpha_sync.hpp"
 #include "fl/assigned_clustering.hpp"
 #include "fl/baselines.hpp"
@@ -15,6 +20,7 @@
 #include "fl/fedprox_lg.hpp"
 #include "fl/finetune.hpp"
 #include "fl/ifca.hpp"
+#include "fl/registry.hpp"
 #include "tensor/ops.hpp"
 
 namespace fleda {
@@ -259,6 +265,38 @@ TEST(AlphaPortionSync, AlphaOneIsFullyLocalAfterAggregation) {
                std::invalid_argument);
 }
 
+TEST(AlphaPortionSync, SingleMemberCohortKeepsItsOwnUpdateUnscaled) {
+  // Under client sampling a cohort of one is normal; the sole member
+  // must keep its full update (nobody to split (1 - alpha) with), not
+  // alpha * update — which would silently shrink the model each round.
+  TinyWorld w = make_world(97);
+  AlphaPortionSync algo(0.5);
+  FLRunOptions opts = tiny_options(1);
+  opts.client.mu = 0.0;
+  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.sample_size = 1;
+  std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+
+  TinyWorld ref = make_world(97);
+  Rng rng(opts.seed);
+  RoutabilityModelPtr init = ref.factory(rng);
+  const ModelParameters initial = ModelParameters::from_model(*init);
+  int changed = -1;
+  for (std::size_t k = 0; k < finals.size(); ++k) {
+    if (finals[k].squared_distance(initial) > 0.0) {
+      EXPECT_EQ(changed, -1) << "more than one client trained";
+      changed = static_cast<int>(k);
+    }
+  }
+  ASSERT_NE(changed, -1);
+  const ModelParameters manual =
+      ref.clients[static_cast<std::size_t>(changed)].local_update(initial,
+                                                                  opts.client);
+  EXPECT_NEAR(finals[static_cast<std::size_t>(changed)]
+                  .squared_distance(manual),
+              0.0, 1e-12);
+}
+
 TEST(FineTune, RunsBaseThenImprovesLocalFit) {
   TinyWorld w = make_world(61);
   FLRunOptions opts = tiny_options(2);
@@ -289,6 +327,258 @@ TEST(Baselines, CentralizedTrainsOnPooledData) {
   Rng rng(opts.seed);
   RoutabilityModelPtr init = w.factory(rng);
   EXPECT_GT(ModelParameters::from_model(*init).squared_distance(central), 0.0);
+}
+
+bool bit_identical(const ModelParameters& a, const ModelParameters& b) {
+  if (!a.structurally_equal(b)) return false;
+  for (std::size_t n = 0; n < a.entries().size(); ++n) {
+    if (!a.entries()[n].value.equals(b.entries()[n].value)) return false;
+  }
+  return true;
+}
+
+// --- algorithm registry (tentpole) -----------------------------------
+
+TEST(Registry, NamesListingAndErrorHandling) {
+  AlgorithmRegistry& registry = AlgorithmRegistry::global();
+  const std::vector<std::string> names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* builtin :
+       {"fedavg", "fedprox", "fedprox_lg", "ifca", "fedprox_finetune",
+        "assigned_clustering", "alpha_sync", "async_fedavg"}) {
+    EXPECT_TRUE(registry.contains(builtin)) << builtin;
+  }
+  EXPECT_FALSE(registry.contains("no_such_algorithm"));
+  try {
+    registry.create("no_such_algorithm");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error lists what IS registered, for discoverability.
+    EXPECT_NE(std::string(e.what()).find("fedprox"), std::string::npos);
+  }
+  EXPECT_THROW(registry.add("", [](const AlgorithmOptions&) {
+                 return std::unique_ptr<FederatedAlgorithm>();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("fedavg",
+                            [](const AlgorithmOptions&) {
+                              return std::unique_ptr<FederatedAlgorithm>(
+                                  new FedAvg());
+                            }),
+               std::invalid_argument);
+}
+
+TEST(Registry, EveryNameRunsAndMatchesDirectDispatchBitIdentically) {
+  // Under FullParticipation and the default lossless channel, an
+  // algorithm created through the registry must reproduce the directly
+  // constructed (pre-registry, enum-dispatch) result bit for bit.
+  AlgorithmOptions options;
+  options.cluster_assignment = {0, 0, 1};  // the tiny world has 3 clients
+  options.finetune_steps = 4;
+  options.async.buffer_size = 2;
+
+  using Direct = std::function<std::unique_ptr<FederatedAlgorithm>()>;
+  std::map<std::string, Direct> direct;
+  direct["fedavg"] = [] { return std::make_unique<FedAvg>(); };
+  direct["fedprox"] = [] { return std::make_unique<FedProx>(); };
+  direct["fedprox_lg"] = [] { return std::make_unique<FedProxLG>(); };
+  direct["ifca"] = [&] {
+    return std::make_unique<IFCA>(options.num_clusters,
+                                  options.selection_batches);
+  };
+  direct["fedprox_finetune"] = [&] {
+    return std::make_unique<FineTune>(std::make_unique<FedProx>(),
+                                      options.finetune_steps);
+  };
+  direct["assigned_clustering"] = [&] {
+    return std::make_unique<AssignedClustering>(options.cluster_assignment);
+  };
+  direct["alpha_sync"] = [&] {
+    return std::make_unique<AlphaPortionSync>(options.alpha_portion);
+  };
+  direct["async_fedavg"] = [&] {
+    return std::make_unique<AsyncFedAvg>(options.async);
+  };
+
+  for (const std::string& name : AlgorithmRegistry::global().names()) {
+    SCOPED_TRACE(name);
+    const FLRunOptions opts = tiny_options(2);
+    TinyWorld w1 = make_world(81);
+    std::unique_ptr<FederatedAlgorithm> from_registry =
+        AlgorithmRegistry::global().create(name, options);
+    std::vector<ModelParameters> finals =
+        from_registry->run(w1.clients, w1.factory, opts);
+    ASSERT_EQ(finals.size(), 3u);
+
+    auto it = direct.find(name);
+    ASSERT_NE(it, direct.end()) << "no direct-dispatch reference for " << name;
+    TinyWorld w2 = make_world(81);
+    std::vector<ModelParameters> reference =
+        it->second()->run(w2.clients, w2.factory, opts);
+    ASSERT_EQ(reference.size(), finals.size());
+    for (std::size_t k = 0; k < finals.size(); ++k) {
+      EXPECT_TRUE(bit_identical(finals[k], reference[k])) << "client " << k;
+    }
+  }
+}
+
+// --- participation policies (tentpole) -------------------------------
+
+TEST(Participation, FullCohortIsEveryClient) {
+  FullParticipation full;
+  ParticipationContext ctx;
+  ctx.num_clients = 4;
+  EXPECT_EQ(full.select(ctx), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(full.name(), "full");
+}
+
+TEST(Participation, UniformSampleIsSeededSortedAndSized) {
+  ParticipationContext ctx;
+  ctx.num_clients = 6;
+  UniformSample a(2, 42), b(2, 42);
+  bool varied = false;
+  std::vector<std::size_t> first;
+  for (int r = 0; r < 6; ++r) {
+    ctx.round = r;
+    const std::vector<std::size_t> cohort = a.select(ctx);
+    EXPECT_EQ(cohort, b.select(ctx));  // same seed => same sequence
+    ASSERT_EQ(cohort.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(cohort.begin(), cohort.end()));
+    EXPECT_LT(cohort.back(), 6u);
+    if (r == 0) first = cohort;
+    if (cohort != first) varied = true;
+  }
+  EXPECT_TRUE(varied);  // it actually resamples across rounds
+  // Degenerate sizes fall back to full participation.
+  EXPECT_EQ(UniformSample(0).select(ctx).size(), 6u);
+  EXPECT_EQ(UniformSample(99).select(ctx).size(), 6u);
+}
+
+TEST(Participation, AvailabilityAwareFiltersOfflineClients) {
+  SimConfig sim = SimConfig::uniform(3);
+  sim.profiles[1].offline.push_back({0.0, 10.0});
+  ParticipationContext ctx;
+  ctx.num_clients = 3;
+  ctx.sim = &sim;
+  ctx.now = 5.0;
+  AvailabilityAware policy;
+  EXPECT_EQ(policy.select(ctx), (std::vector<std::size_t>{0, 2}));
+  ctx.now = 10.0;  // offline windows are half-open
+  EXPECT_EQ(policy.select(ctx), (std::vector<std::size_t>{0, 1, 2}));
+
+  // Composed with a sampler via the config factory: the filter applies
+  // to the sampled cohort, and the offline client never appears.
+  ParticipationConfig config;
+  config.kind = ParticipationKind::kAvailabilityAware;
+  config.sample_size = 2;
+  auto sampled = make_participation_policy(config);
+  ctx.now = 5.0;
+  for (int r = 0; r < 8; ++r) {
+    ctx.round = r;
+    for (std::size_t k : sampled->select(ctx)) EXPECT_NE(k, 1u);
+  }
+}
+
+TEST(Participation, SampledFedProxIsDeterministicAndPersonalizesCohortOnly) {
+  auto run_once = [] {
+    TinyWorld w = make_world(83);
+    FLRunOptions opts = tiny_options(3);
+    opts.participation.kind = ParticipationKind::kUniformSample;
+    opts.participation.sample_size = 2;
+    FedProx algo;
+    return algo.run(w.clients, w.factory, opts);
+  };
+  const std::vector<ModelParameters> f1 = run_once();
+  const std::vector<ModelParameters> f2 = run_once();
+  ASSERT_EQ(f1.size(), 3u);
+  for (std::size_t k = 0; k < f1.size(); ++k) {
+    EXPECT_TRUE(bit_identical(f1[k], f2[k])) << "client " << k;
+  }
+}
+
+TEST(Participation, AllOfflineCohortFailsWithDescriptiveError) {
+  TinyWorld w = make_world(84);
+  FLRunOptions opts = tiny_options(1);
+  opts.participation.kind = ParticipationKind::kAvailabilityAware;
+  opts.sim = SimConfig::uniform(3);
+  for (ClientProfile& p : opts.sim.profiles) p.offline.push_back({0.0, 100.0});
+  FedAvg algo;
+  try {
+    algo.run(w.clients, w.factory, opts);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty cohort"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- aggregation rules (tentpole + guard satellite) ------------------
+
+TEST(AggregationRules, WeightedAverageMatchesServerFacade) {
+  TinyWorld w = make_world(85);
+  Rng rng(5);
+  ModelParameters u1 = ModelParameters::from_model(*w.factory(rng));
+  ModelParameters u2 = ModelParameters::from_model(*w.factory(rng));
+  const std::vector<ModelParameters> updates = {u1, u2};
+  const std::vector<double> weights = {1.0, 3.0};
+
+  const ModelParameters via_server = Server::aggregate(updates, weights);
+  const ModelParameters via_rule = WeightedAverage().aggregate(
+      ModelParameters{}, {{&u1, 1.0, 0}, {&u2, 3.0, 0}});
+  EXPECT_TRUE(bit_identical(via_server, via_rule));
+}
+
+TEST(AggregationRules, EmptyCohortAndZeroWeightThrowDescriptively) {
+  const WeightedAverage avg;
+  const StalenessDiscountedMix mix(StalenessPolicy{}, 0.5);
+  for (const AggregationRule* rule :
+       std::vector<const AggregationRule*>{&avg, &mix}) {
+    try {
+      rule->aggregate(ModelParameters{}, {});
+      FAIL() << rule->name() << ": expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("empty cohort"), std::string::npos)
+          << e.what();
+    }
+  }
+  TinyWorld w = make_world(86);
+  Rng rng(5);
+  ModelParameters u = ModelParameters::from_model(*w.factory(rng));
+  EXPECT_THROW(
+      avg.aggregate(ModelParameters{}, {{&u, 0.0, 0}, {&u, 0.0, 0}}),
+      std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(avg.aggregate(ModelParameters{}, {{&u, nan, 0}}),
+               std::invalid_argument);
+}
+
+TEST(AggregationRules, StalenessDiscountedMixFoldsDeltasIntoCurrent) {
+  TinyWorld w = make_world(87);
+  Rng rng(5);
+  const ModelParameters current = ModelParameters::from_model(*w.factory(rng));
+  const ModelParameters delta = ModelParameters::from_model(*w.factory(rng));
+
+  // Single input: normalization cancels the discount entirely, so the
+  // result is current + server_mix * delta whatever the staleness.
+  StalenessPolicy policy;
+  policy.poly_exponent = 1.0;
+  const StalenessDiscountedMix rule(policy, 0.5);
+  const ModelParameters one =
+      rule.aggregate(current, {{&delta, 2.0, /*staleness=*/3}});
+  ModelParameters expected = current;
+  expected.add_scaled(delta, 0.5);
+  EXPECT_NEAR(one.squared_distance(expected), 0.0, 1e-12);
+
+  // Two inputs, same delta but staleness 0 vs 1: the weighted average
+  // of identical deltas is that delta, so staleness must not change
+  // the outcome — while the internal weights differ (s(1) = 0.5).
+  const ModelParameters two = rule.aggregate(
+      current, {{&delta, 1.0, 0}, {&delta, 1.0, 1}});
+  EXPECT_NEAR(two.squared_distance(expected), 0.0, 1e-10);
+  EXPECT_DOUBLE_EQ(policy.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.weight(1), 0.5);
+
+  EXPECT_THROW(StalenessDiscountedMix(policy, 0.0), std::invalid_argument);
 }
 
 TEST(TrainingEffectiveness, FedAvgLearnsTheSharedConcept) {

@@ -76,6 +76,52 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+TEST(ExperimentIntegration, EnumShimMapsOntoRegistryNames) {
+  // The deprecated TrainingMethod enum is a thin shim over registry
+  // names: every federated value resolves to a registered algorithm,
+  // and the display labels the tables rely on are preserved.
+  for (TrainingMethod m :
+       {TrainingMethod::kFedAvg, TrainingMethod::kFedProx,
+        TrainingMethod::kFedProxLG, TrainingMethod::kIFCA,
+        TrainingMethod::kFedProxFineTune, TrainingMethod::kAssignedClustering,
+        TrainingMethod::kAlphaPortionSync, TrainingMethod::kAsyncFedAvg}) {
+    const std::string name = registry_name(m);
+    EXPECT_TRUE(AlgorithmRegistry::global().contains(name)) << name;
+    EXPECT_EQ(display_name(name), to_string(m));
+  }
+  EXPECT_EQ(registry_name(TrainingMethod::kLocal), "local");
+  EXPECT_EQ(registry_name(TrainingMethod::kCentral), "central");
+  EXPECT_EQ(to_string(TrainingMethod::kFedProx), "FedProx");
+  EXPECT_EQ(to_string(TrainingMethod::kLocal), "Local Average (b1 to b9)");
+  // Unregistered names display as themselves.
+  EXPECT_EQ(display_name("dp_fedprox"), "dp_fedprox");
+}
+
+TEST(ExperimentIntegration, RunMethodByNameAndUnknownNameThrows) {
+  ExperimentConfig cfg = smoke_config();
+  cfg.scale.rounds = 1;
+  cfg.scale.steps_per_round = 2;
+  // Exercise the fluent name-keyed API together with client sampling:
+  // 4 of the 9 clients participate per round.
+  cfg.participation.kind = ParticipationKind::kUniformSample;
+  cfg.participation.sample_size = 4;
+  Experiment exp(cfg);
+  exp.prepare_data();
+  MethodResult row = exp.run_method("fedavg");
+  EXPECT_EQ(row.method, "FedAvg");
+  EXPECT_EQ(row.participation, "uniform_sample");
+  ASSERT_EQ(row.client_auc.size(), 9u);
+  // Sampled round: 4 deployments down, 4 updates up.
+  EXPECT_EQ(row.comm.downlink_messages, 4u);
+  EXPECT_EQ(row.comm.uplink_messages, 4u);
+  try {
+    exp.run_method("no_such_method");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("registered"), std::string::npos);
+  }
+}
+
 TEST(ExperimentIntegration, PaperMethodListMatchesTableRows) {
   std::vector<TrainingMethod> methods = paper_table_methods();
   ASSERT_EQ(methods.size(), 8u);

@@ -419,6 +419,85 @@ TEST(Determinism, SyncTraceAndParametersInvariantToPoolSize) {
   ThreadPool::reset_global(0);
 }
 
+// --- participation policies on the engine (tentpole) -----------------
+
+TEST(SyncSchedule, AvailabilityAwareSkipsOfflineClientInsteadOfWaiting) {
+  // Same scenario as OfflineClientDelaysRound, but with the
+  // availability-aware policy the barrier no longer stalls until the
+  // offline client's window ends — the round closes on the two
+  // reachable clients.
+  TinyWorld w = make_world(25);
+  FLRunOptions opts = tiny_options(1);
+  opts.sim = SimConfig::uniform(3);
+  opts.sim.profiles[1].offline.push_back({0.0, 50.0});
+  opts.participation.kind = ParticipationKind::kAvailabilityAware;
+  SimReport report;
+  opts.sim_report = &report;
+  FedAvg algo;
+  std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+  ASSERT_EQ(finals.size(), 3u);
+  EXPECT_GT(report.total_time_s, 0.0);
+  EXPECT_LT(report.total_time_s, 50.0);
+}
+
+TEST(SyncSchedule, SampledRoundBillsAndSchedulesOnlyTheCohort) {
+  auto run_with = [&](int sample_size, ChannelStats* comm) {
+    TinyWorld w = make_world(26, /*num_clients=*/6);
+    FLRunOptions opts = tiny_options(2);
+    if (sample_size > 0) {
+      opts.participation.kind = ParticipationKind::kUniformSample;
+      opts.participation.sample_size = sample_size;
+    }
+    opts.comm_stats = comm;
+    SimReport report;
+    opts.sim_report = &report;
+    FedAvg algo;
+    algo.run(w.clients, w.factory, opts);
+    return report;
+  };
+
+  ChannelStats sampled;
+  const SimReport sampled_report = run_with(2, &sampled);
+  ASSERT_EQ(sampled.rounds.size(), 2u);
+  for (const RoundCommStats& r : sampled.rounds) {
+    EXPECT_EQ(r.downlink_messages, 2u);  // C, not K
+    EXPECT_EQ(r.uplink_messages, 2u);
+  }
+  // Per round: 3 events per cohort member + the barrier release.
+  EXPECT_EQ(sampled_report.events_processed, 2u * (2u * 3u + 1u));
+
+  ChannelStats full;
+  run_with(0, &full);
+  // fp32 both ways: every exchange has the same wire size, so bytes
+  // scale exactly with the cohort size (K = 6 vs C = 2).
+  EXPECT_EQ(full.downlink_bytes, 3 * sampled.downlink_bytes);
+  EXPECT_EQ(full.uplink_bytes, 3 * sampled.uplink_bytes);
+}
+
+TEST(Determinism, SampledCohortTraceAndParametersInvariantToPoolSize) {
+  auto run_with_pool = [](std::size_t pool) {
+    ThreadPool::reset_global(pool);
+    TinyWorld w = make_world(77, /*num_clients=*/4);
+    FLRunOptions opts = tiny_options(3);
+    opts.trace = true;
+    opts.sim = SimConfig::heterogeneous(4, 9);
+    opts.participation.kind = ParticipationKind::kUniformSample;
+    opts.participation.sample_size = 2;
+    SimReport report;
+    opts.sim_report = &report;
+    FedAvg algo;
+    RunArtifacts artifacts;
+    artifacts.finals = algo.run(w.clients, w.factory, opts);
+    artifacts.trace = std::move(report.trace);
+    artifacts.total_time_s = report.total_time_s;
+    return artifacts;
+  };
+  RunArtifacts one = run_with_pool(1);
+  RunArtifacts four = run_with_pool(4);
+  expect_identical(one, four);
+  ThreadPool::reset_global(0);
+}
+
 TEST(Determinism, AsyncTraceAndParametersInvariantToPoolSize) {
   SimConfig sim = SimConfig::with_straggler(3, 0, 4.0);
   add_periodic_dropout(sim, 1, 0.5, 5.0, 1.0, 4);
