@@ -11,11 +11,12 @@ namespace fleda {
 namespace {
 
 std::vector<Client> make_clients(const std::vector<ClientDataset>& data,
-                                 const ModelFactory& factory) {
+                                 const std::shared_ptr<ModelPool>& pool) {
   Rng rng(7);
   std::vector<Client> clients;
+  clients.reserve(data.size());
   for (const ClientDataset& ds : data) {
-    clients.emplace_back(ds.client_id, &ds, factory,
+    clients.emplace_back(ds.client_id, &ds, pool,
                          rng.fork(static_cast<std::uint64_t>(ds.client_id)));
   }
   return clients;
@@ -33,6 +34,9 @@ int main() {
   exp.prepare_data();
   ModelFactory factory =
       make_model_factory(ModelKind::kFLNet, kNumFeatureChannels);
+  // One scratch-model pool across every ablation variant: client
+  // vectors are rebuilt per setting, models are not.
+  auto pool = std::make_shared<ModelPool>(factory);
 
   FLRunOptions opts;
   opts.rounds = cfg.scale.rounds;
@@ -45,7 +49,7 @@ int main() {
   AsciiTable mu_table("FedProx proximal strength mu (paper: 1e-4)");
   mu_table.set_header({"mu", "Avg ROC AUC"});
   for (double mu : {0.0, 1e-4, 1e-2, 1.0}) {
-    std::vector<Client> clients = make_clients(exp.data(), factory);
+    std::vector<Client> clients = make_clients(exp.data(), pool);
     opts.client.mu = mu;
     FedProx algo;
     std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
@@ -60,7 +64,7 @@ int main() {
   AsciiTable alpha_table("alpha-portion sync mixing weight (paper: 0.5)");
   alpha_table.set_header({"alpha", "Avg ROC AUC"});
   for (double alpha : {0.1, 0.5, 0.9}) {
-    std::vector<Client> clients = make_clients(exp.data(), factory);
+    std::vector<Client> clients = make_clients(exp.data(), pool);
     AlphaPortionSync algo(alpha);
     std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
     MethodResult r = evaluate_per_client("alpha", clients, finals);

@@ -58,10 +58,14 @@ MethodResult run_variant(const std::string& label, const ModelFactory& factory,
                          const std::vector<ClientDataset>& data,
                          const RunScale& scale, TrainingMethod method) {
   PaperHyperParams hp;
+  // Each variant has its own architecture, so each gets its own pool;
+  // within the variant all clients share its scratch models.
+  auto pool = std::make_shared<ModelPool>(factory);
   Rng rng(7);
   std::vector<Client> clients;
+  clients.reserve(data.size());
   for (const ClientDataset& ds : data) {
-    clients.emplace_back(ds.client_id, &ds, factory,
+    clients.emplace_back(ds.client_id, &ds, pool,
                          rng.fork(static_cast<std::uint64_t>(ds.client_id)));
   }
   ClientTrainConfig ccfg;

@@ -59,6 +59,8 @@ int main() {
   exp.prepare_data();
   ModelFactory factory =
       make_model_factory(ModelKind::kFLNet, kNumFeatureChannels);
+  // Shared scratch models across all noise settings.
+  auto pool = std::make_shared<ModelPool>(factory);
 
   FLRunOptions opts;
   opts.rounds = cfg.scale.rounds;
@@ -74,8 +76,9 @@ int main() {
   for (double noise : {0.0, 1e-4, 1e-3, 1e-2}) {
     Rng rng(7);
     std::vector<Client> clients;
+    clients.reserve(exp.data().size());
     for (const ClientDataset& ds : exp.data()) {
-      clients.emplace_back(ds.client_id, &ds, factory,
+      clients.emplace_back(ds.client_id, &ds, pool,
                            rng.fork(static_cast<std::uint64_t>(ds.client_id)));
     }
     DpOptions dp;

@@ -10,11 +10,16 @@
 // Output is one JSON object per line, easy to diff/collect in CI:
 //   {"bench":"codec","name":"int8",...}
 //   {"bench":"e2e","codec":"int8",...}
+// plus a machine-readable BENCH_comm.json (codec throughput and
+// compression ratios, e2e upload reduction) for the perf trajectory —
+// future PRs diff it against this run's CI artifact.
 //
 // Honors FLEDA_SCALE (default smoke — this is a bandwidth bench, not
 // an accuracy bench) and FLEDA_CACHE_DIR like the table benches.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "comm/channel.hpp"
 #include "comm/codec.hpp"
@@ -26,6 +31,13 @@
 namespace fleda {
 namespace {
 
+struct CodecRow {
+  std::string name;
+  double compression = 0.0;
+  double encode_mb_per_s = 0.0;
+  double decode_mb_per_s = 0.0;
+};
+
 ModelParameters paper_snapshot(std::uint64_t seed) {
   Rng rng(seed);
   RoutabilityModelPtr model =
@@ -33,8 +45,9 @@ ModelParameters paper_snapshot(std::uint64_t seed) {
   return ModelParameters::from_model(*model);
 }
 
-void bench_codec(const ParameterCodec& codec, const ModelParameters& params,
-                 const ModelParameters& reference, int repeats) {
+CodecRow bench_codec(const ParameterCodec& codec,
+                     const ModelParameters& params,
+                     const ModelParameters& reference, int repeats) {
   // Warm-up + size probe.
   ByteBuffer blob = codec.encode(params, &reference);
   const double raw_mb = static_cast<double>(raw_wire_bytes(params)) / 1e6;
@@ -51,14 +64,19 @@ void bench_codec(const ParameterCodec& codec, const ModelParameters& params,
   }
   const double decode_s = decode_timer.seconds();
 
+  CodecRow row;
+  row.name = codec.name();
+  row.compression = static_cast<double>(raw_wire_bytes(params)) /
+                    static_cast<double>(blob.size());
+  row.encode_mb_per_s = raw_mb * repeats / encode_s;
+  row.decode_mb_per_s = raw_mb * repeats / decode_s;
   std::printf(
       "{\"bench\":\"codec\",\"name\":\"%s\",\"raw_mb\":%.3f,"
       "\"encoded_mb\":%.3f,\"compression\":%.2f,"
       "\"encode_mb_per_s\":%.1f,\"decode_mb_per_s\":%.1f}\n",
-      codec.name().c_str(), raw_mb, static_cast<double>(blob.size()) / 1e6,
-      static_cast<double>(raw_wire_bytes(params)) /
-          static_cast<double>(blob.size()),
-      raw_mb * repeats / encode_s, raw_mb * repeats / decode_s);
+      row.name.c_str(), raw_mb, static_cast<double>(blob.size()) / 1e6,
+      row.compression, row.encode_mb_per_s, row.decode_mb_per_s);
+  return row;
 }
 
 struct E2EResult {
@@ -82,15 +100,41 @@ E2EResult run_e2e(Experiment& exp, CodecKind uplink) {
   return r;
 }
 
+void write_bench_json(const std::vector<CodecRow>& codecs,
+                      const E2EResult& fp32, const E2EResult& int8,
+                      double reduction) {
+  std::FILE* f = std::fopen("BENCH_comm.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_comm: cannot write BENCH_comm.json\n");
+    return;
+  }
+  std::fprintf(f, "{\"bench\":\"micro_comm\",\"codecs\":[");
+  for (std::size_t i = 0; i < codecs.size(); ++i) {
+    std::fprintf(
+        f,
+        "%s{\"name\":\"%s\",\"compression\":%.2f,\"encode_mb_per_s\":%.1f,"
+        "\"decode_mb_per_s\":%.1f}",
+        i == 0 ? "" : ",", codecs[i].name.c_str(), codecs[i].compression,
+        codecs[i].encode_mb_per_s, codecs[i].decode_mb_per_s);
+  }
+  std::fprintf(
+      f,
+      "],\"e2e\":{\"fp32_upload_mb\":%.3f,\"int8_upload_mb\":%.3f,"
+      "\"upload_reduction\":%.2f,\"auc_delta\":%.4f}}\n",
+      fp32.upload_mb, int8.upload_mb, reduction, int8.avg_auc - fp32.avg_auc);
+  std::fclose(f);
+}
+
 int main_impl() {
   const ModelParameters params = paper_snapshot(1);
   const ModelParameters reference = paper_snapshot(2);
   const int repeats = 20;
 
+  std::vector<CodecRow> codec_rows;
   for (CodecKind kind : {CodecKind::kFp32, CodecKind::kFp16,
                          CodecKind::kInt8Quant, CodecKind::kTopKDelta}) {
     std::unique_ptr<ParameterCodec> codec = make_codec(kind, 0.05);
-    bench_codec(*codec, params, reference, repeats);
+    codec_rows.push_back(bench_codec(*codec, params, reference, repeats));
   }
 
   // End-to-end: FedProx through fp32 vs int8 uplinks.
@@ -117,6 +161,7 @@ int main_impl() {
       "\"upload_reduction_vs_fp32\":%.2f,\"auc_delta\":%.4f}\n",
       int8.upload_mb, int8.avg_auc, int8.sim_latency_s, reduction,
       int8.avg_auc - fp32.avg_auc);
+  write_bench_json(codec_rows, fp32, int8, reduction);
   return reduction >= 3.5 ? 0 : 1;
 }
 

@@ -15,12 +15,18 @@
 //
 // Part 3 is the thousand-client demonstration from the participation
 // redesign: K = 1000 ClientProfiles sharing the 9 synthetic datasets,
-// FedAvg with UniformSample{C = 20}. The gate checks the per-round
+// FedAvg with UniformSample{C = 20}. The gates check (a) the per-round
 // cost is O(C), not O(K) — exactly 2C messages and 2C model-snapshots
-// of bytes per round — and that the sampled run replays bit-identically.
+// of bytes per round; (b) the sampled run replays bit-identically; and
+// (c) memory is O(threads), not O(K) — the scratch-model pool must
+// keep the peak live RoutabilityModel count at threads + 1 or below
+// for the whole thousand-client run.
 //
-// Output is one JSON object per line, easy to diff/collect in CI.
+// Output is one JSON object per line, easy to diff/collect in CI, and
+// the headline numbers are also written to BENCH_sim.json so future
+// PRs can gate on perf regressions (the machine-readable trajectory).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "comm/codec.hpp"
@@ -28,14 +34,57 @@
 #include "fl/fedavg.hpp"
 #include "fl/participation.hpp"
 #include "fl/synthetic.hpp"
+#include "models/pool.hpp"
 #include "models/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/profile.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace fleda {
 namespace {
+
+// Peak resident set (VmHWM) in MB, or -1 where /proc is unavailable.
+double peak_rss_mb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1.0;
+  char line[256];
+  double mb = -1.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+#else
+  return -1.0;
+#endif
+}
+
+// FNV-1a over every tensor byte of the finals — a cheap cross-version
+// fingerprint (the pooled implementation must reproduce the pre-pool
+// traces bit-for-bit, and this makes that checkable from CI artifacts).
+std::uint64_t finals_checksum(const std::vector<ModelParameters>& finals) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const ModelParameters& p : finals) {
+    for (const ParameterEntry& e : p.entries()) {
+      const unsigned char* bytes =
+          reinterpret_cast<const unsigned char*>(e.value.data());
+      const std::int64_t n = e.value.numel() *
+                             static_cast<std::int64_t>(sizeof(float));
+      for (std::int64_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  return h;
+}
 
 // --- part 1: event-loop throughput -----------------------------------
 
@@ -58,11 +107,13 @@ double bench_event_loop(std::uint64_t num_events) {
   }
   queue.run_all(clock, /*max_events=*/4 * num_events);
   const double seconds = timer.seconds();
+  const double events_per_sec =
+      static_cast<double>(queue.processed()) / seconds;
   std::printf(
       "{\"bench\":\"event_loop\",\"events\":%llu,\"events_per_sec\":%.0f}\n",
-      static_cast<unsigned long long>(queue.processed()),
-      static_cast<double>(queue.processed()) / seconds);
-  return static_cast<double>(fired) / seconds;
+      static_cast<unsigned long long>(queue.processed()), events_per_sec);
+  (void)fired;
+  return events_per_sec;
 }
 
 // --- part 2: sync vs async under a 10x straggler ---------------------
@@ -190,12 +241,15 @@ ThousandRun run_thousand(std::size_t num_clients, int cohort, int rounds) {
   }();
 
   ModelFactory factory = make_model_factory(ModelKind::kFLNet, 2);
+  // One shared scratch pool for all thousand clients: the run holds
+  // O(threads) live model instances, not O(K).
+  auto pool = std::make_shared<ModelPool>(factory);
   Rng rng(4242);
   std::vector<Client> clients;
   clients.reserve(num_clients);
   for (std::size_t k = 0; k < num_clients; ++k) {
     clients.emplace_back(static_cast<int>(k) + 1, &shared_data[k % 9],
-                         factory, rng.fork(k));
+                         pool, rng.fork(k));
   }
 
   FLRunOptions opts;
@@ -226,14 +280,37 @@ bool bit_identical_params(const ModelParameters& a, const ModelParameters& b) {
   return true;
 }
 
-int bench_thousand_clients() {
+// Headline numbers collected across the parts for BENCH_sim.json.
+struct SimBenchSummary {
+  double events_per_sec = 0.0;
+  double thousand_host_s = 0.0;
+  double thousand_round_host_ms = 0.0;
+  double thousand_sim_time_s = 0.0;
+  std::uint64_t thousand_bytes_per_round = 0;
+  std::int64_t peak_model_instances = 0;
+  std::int64_t model_instance_budget = 0;
+  std::uint64_t finals_fingerprint = 0;
+  double rss_mb = -1.0;
+};
+
+int bench_thousand_clients(SimBenchSummary* summary) {
   constexpr std::size_t kK = 1000;
   constexpr int kCohort = 20;
   constexpr int kRounds = 3;
 
+  // O(threads) memory gate: the pooled run (client construction
+  // included — its transient per-client init replays are serial) may
+  // never hold more live models than pool workers + the caller.
+  RoutabilityModel::reset_peak_instances();
+  const std::int64_t budget =
+      static_cast<std::int64_t>(ThreadPool::global().size()) + 1;
+
   Timer timer;
   const ThousandRun first = run_thousand(kK, kCohort, kRounds);
   const double host_s = timer.seconds();
+  const std::int64_t peak_models = RoutabilityModel::peak_instances();
+  const bool o_threads_memory = peak_models <= budget;
+
   const ThousandRun replay = run_thousand(kK, kCohort, kRounds);
 
   // O(C) gate: every round bills exactly C deployments down and C
@@ -257,24 +334,69 @@ int bench_thousand_clients() {
                   bit_identical_params(first.finals.front(),
                                        replay.finals.front());
 
-  const bool pass = o_c_billing && deterministic;
+  const bool pass = o_c_billing && deterministic && o_threads_memory;
   std::printf(
       "{\"bench\":\"thousand_clients\",\"clients\":%zu,\"cohort\":%d,"
       "\"rounds\":%d,\"bytes_per_round\":%llu,\"model_bytes\":%llu,"
-      "\"sim_time_s\":%.1f,\"host_time_s\":%.1f,\"o_c_billing\":%s,"
+      "\"sim_time_s\":%.1f,\"host_time_s\":%.1f,"
+      "\"peak_model_instances\":%lld,\"model_instance_budget\":%lld,"
+      "\"o_c_billing\":%s,\"o_threads_memory\":%s,"
       "\"deterministic\":%s,\"pass\":%s}\n",
       kK, kCohort, kRounds,
       static_cast<unsigned long long>(bytes_per_round),
       static_cast<unsigned long long>(model_bytes),
-      first.report.total_time_s, host_s, o_c_billing ? "true" : "false",
+      first.report.total_time_s, host_s,
+      static_cast<long long>(peak_models), static_cast<long long>(budget),
+      o_c_billing ? "true" : "false", o_threads_memory ? "true" : "false",
       deterministic ? "true" : "false", pass ? "true" : "false");
+
+  if (summary != nullptr) {
+    summary->thousand_host_s = host_s;
+    summary->thousand_round_host_ms = host_s * 1e3 / kRounds;
+    summary->thousand_sim_time_s = first.report.total_time_s;
+    summary->thousand_bytes_per_round = bytes_per_round;
+    summary->peak_model_instances = peak_models;
+    summary->model_instance_budget = budget;
+    summary->finals_fingerprint = finals_checksum({first.finals.front()});
+  }
   return pass ? 0 : 1;
 }
 
+// The machine-readable perf trajectory: one JSON object per run, so a
+// future PR can diff events/sec, round time, and the memory budget
+// against this one's CI artifact.
+void write_bench_json(const SimBenchSummary& summary) {
+  std::FILE* f = std::fopen("BENCH_sim.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_sim: cannot write BENCH_sim.json\n");
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\"bench\":\"micro_sim\",\"events_per_sec\":%.0f,"
+      "\"thousand_clients\":{\"clients\":1000,\"cohort\":20,\"rounds\":3,"
+      "\"host_time_s\":%.3f,\"round_host_ms\":%.1f,\"sim_time_s\":%.3f,"
+      "\"bytes_per_round\":%llu,\"peak_model_instances\":%lld,"
+      "\"model_instance_budget\":%lld,"
+      "\"finals_fingerprint\":\"%016llx\"},"
+      "\"threads\":%zu,\"peak_rss_mb\":%.1f}\n",
+      summary.events_per_sec, summary.thousand_host_s,
+      summary.thousand_round_host_ms, summary.thousand_sim_time_s,
+      static_cast<unsigned long long>(summary.thousand_bytes_per_round),
+      static_cast<long long>(summary.peak_model_instances),
+      static_cast<long long>(summary.model_instance_budget),
+      static_cast<unsigned long long>(summary.finals_fingerprint),
+      ThreadPool::global().size(), summary.rss_mb);
+  std::fclose(f);
+}
+
 int main_impl() {
-  bench_event_loop(1'000'000);
+  SimBenchSummary summary;
+  summary.events_per_sec = bench_event_loop(1'000'000);
   const int straggler_rc = bench_straggler();
-  const int thousand_rc = bench_thousand_clients();
+  const int thousand_rc = bench_thousand_clients(&summary);
+  summary.rss_mb = peak_rss_mb();
+  write_bench_json(summary);
   return straggler_rc != 0 ? straggler_rc : thousand_rc;
 }
 

@@ -57,10 +57,13 @@ int main(int argc, char** argv) {
   std::printf("Training 9 local models...\n");
   ModelFactory factory =
       make_model_factory(cfg.model, kNumFeatureChannels);
+  // All nine clients borrow scratch models from one pool.
+  auto pool = std::make_shared<ModelPool>(factory);
   Rng rng(7);
   std::vector<Client> clients;
+  clients.reserve(data.size());
   for (const ClientDataset& ds : data) {
-    clients.emplace_back(ds.client_id, &ds, factory,
+    clients.emplace_back(ds.client_id, &ds, pool,
                          rng.fork(static_cast<std::uint64_t>(ds.client_id)));
   }
   BaselineOptions bopts;

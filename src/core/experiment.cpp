@@ -71,7 +71,8 @@ std::vector<TrainingMethod> paper_table_methods() {
 
 Experiment::Experiment(const ExperimentConfig& config)
     : config_(config),
-      factory_(make_model_factory(config.model, kNumFeatureChannels)) {}
+      factory_(make_model_factory(config.model, kNumFeatureChannels)),
+      pool_(std::make_shared<ModelPool>(factory_)) {}
 
 void Experiment::prepare_data() {
   if (!data_.empty()) return;
@@ -113,7 +114,7 @@ std::vector<Client> Experiment::make_clients() {
   std::vector<Client> clients;
   clients.reserve(data_.size());
   for (const ClientDataset& ds : data_) {
-    clients.emplace_back(ds.client_id, &ds, factory_,
+    clients.emplace_back(ds.client_id, &ds, pool_,
                          rng.fork(static_cast<std::uint64_t>(ds.client_id)));
   }
   return clients;

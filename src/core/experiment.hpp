@@ -25,6 +25,7 @@
 #include "data/generator.hpp"
 #include "fl/registry.hpp"
 #include "fl/trainer.hpp"
+#include "models/pool.hpp"
 #include "models/registry.hpp"
 #include "util/config.hpp"
 
@@ -118,6 +119,9 @@ class Experiment {
 
   ExperimentConfig config_;
   ModelFactory factory_;
+  // Scratch models shared by every client this experiment creates:
+  // memory stays O(threads) regardless of the client count.
+  std::shared_ptr<ModelPool> pool_;
   std::vector<ClientDataset> data_;
 };
 

@@ -12,8 +12,7 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     throw std::invalid_argument("AlphaPortionSync: alpha outside [0,1]");
   }
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  const ModelParameters initial = ModelParameters::from_model(*init);
+  const ModelParameters initial = initial_model_parameters(factory, rng);
 
   const std::vector<double> weights = Server::client_weights(clients);
 

@@ -25,8 +25,7 @@ std::vector<ModelParameters> AssignedClustering::run_rounds(
   std::vector<ModelParameters> cluster_models;
   cluster_models.reserve(static_cast<std::size_t>(num_clusters));
   for (int c = 0; c < num_clusters; ++c) {
-    RoutabilityModelPtr m = factory(rng);
-    cluster_models.push_back(ModelParameters::from_model(*m));
+    cluster_models.push_back(initial_model_parameters(factory, rng));
   }
 
   const std::vector<double> weights = Server::client_weights(clients);

@@ -1,6 +1,7 @@
 #include "fl/async_fedavg.hpp"
 
 #include <cmath>
+#include <deque>
 #include <stdexcept>
 
 namespace fleda {
@@ -18,6 +19,9 @@ struct Buffered {
 AsyncFedAvg::AsyncFedAvg(AsyncConfig config) : config_(config) {
   if (config_.buffer_size <= 0) {
     throw std::invalid_argument("AsyncFedAvg: buffer_size <= 0");
+  }
+  if (config_.max_in_flight < 0) {
+    throw std::invalid_argument("AsyncFedAvg: max_in_flight < 0");
   }
   // Validates server_mix and the discount parameters.
   StalenessDiscountedMix(staleness_policy(config_), config_.server_mix);
@@ -44,8 +48,7 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   // is availability-aware by construction (offline clients simply
   // rejoin when their window ends), so the policy is ignored here.
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  ModelParameters global = ModelParameters::from_model(*init);
+  ModelParameters global = initial_model_parameters(factory, rng);
 
   ClientTrainConfig cfg = opts.client;
   cfg.mu = 0.0;  // async FedAvg: plain local SGD, like FedAvg
@@ -84,17 +87,49 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
     }
   };
 
-  // Dispatches the current global model to client k and schedules its
-  // download -> train -> upload event chain. Called at t = 0 for every
-  // client and again from each client's delivery (or drop) event.
-  std::function<void(std::size_t)> dispatch = [&](std::size_t k) {
+  // Dispatch gate (max_in_flight): at most `cap` clients hold a
+  // dispatched model at once; the rest queue FIFO for a freed slot.
+  // cap == 0 disables the gate and is event-for-event identical to the
+  // ungated loop.
+  const int cap = config_.max_in_flight;
+  int in_flight = 0;
+  std::deque<std::size_t> waiting;
+  std::function<void(std::size_t)> start_chain;
+
+  // (Re)requests work for client k, taking a slot or queueing.
+  auto request_dispatch = [&](std::size_t k) {
     if (version >= opts.rounds) return;  // run over: stop feeding work
+    if (cap > 0 && in_flight >= cap) {
+      waiting.push_back(k);
+      return;
+    }
+    ++in_flight;
+    start_chain(k);
+  };
+  // Client k's chain ended (delivered, lost, or permanently offline):
+  // the freed slot goes to the longest-waiting client.
+  auto finish_chain = [&]() {
+    --in_flight;
+    if (!waiting.empty() && version < opts.rounds) {
+      const std::size_t next = waiting.front();
+      waiting.pop_front();
+      ++in_flight;
+      start_chain(next);
+    }
+  };
+
+  // Dispatches the current global model to client k and schedules its
+  // download -> train -> upload event chain. Invoked through
+  // request_dispatch at t = 0 for every client and again from each
+  // client's delivery (or drop) event.
+  start_chain = [&](std::size_t k) {
     const double now = engine.now();
     const ClientProfile& profile = engine.profile(k);
     const double start = profile.next_online(now);
     if (!std::isfinite(start)) {
       // Permanently offline from here on: never rejoins the federation.
       engine.note(SimEventKind::kDropped, static_cast<int>(k), version);
+      finish_chain();
       return;
     }
     std::uint64_t down_bytes = 0;
@@ -133,7 +168,10 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                   // the update is lost; rejoin when the window ends.
                   engine.schedule(up_done, SimEventKind::kDropped,
                                   static_cast<int>(k), dispatched_version,
-                                  [&, k] { dispatch(k); });
+                                  [&, k] {
+                                    finish_chain();
+                                    request_dispatch(k);
+                                  });
                   return;
                 }
                 engine.schedule(
@@ -147,13 +185,14 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                           config_.buffer_size) {
                         aggregate();
                       }
-                      dispatch(k);
+                      finish_chain();
+                      request_dispatch(k);
                     });
               });
         });
   };
 
-  for (std::size_t k = 0; k < clients.size(); ++k) dispatch(k);
+  for (std::size_t k = 0; k < clients.size(); ++k) request_dispatch(k);
   engine.run_all();
 
   if (version < opts.rounds) {

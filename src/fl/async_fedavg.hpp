@@ -31,6 +31,12 @@ struct AsyncConfig {
   StalenessDiscount discount = StalenessDiscount::kPolynomial;
   double poly_exponent = 1.0;    // kPolynomial
   double constant_factor = 0.3;  // kConstant
+  // Dispatch gate: at most this many clients hold a dispatched model
+  // (download -> train -> upload) at any instant; the rest wait FIFO
+  // for a slot. The async analogue of cohort subsampling — a K = 1000
+  // fleet no longer keeps all thousand clients busy (nor needs server
+  // state for all of them at once). 0 = unlimited (every client loops).
+  int max_in_flight = 0;
 };
 
 class AsyncFedAvg : public FederatedAlgorithm {

@@ -10,8 +10,7 @@ std::vector<ModelParameters> train_local_baselines(
     const BaselineOptions& opts) {
   // Common initialization for comparability across clients.
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  const ModelParameters initial = ModelParameters::from_model(*init);
+  const ModelParameters initial = initial_model_parameters(factory, rng);
 
   std::vector<ModelParameters> models(clients.size(), initial);
   parallel_for(clients.size(), [&](std::size_t begin, std::size_t end) {

@@ -1,31 +1,50 @@
 #include "fl/client.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "metrics/roc_auc.hpp"
 #include "nn/loss.hpp"
 
 namespace fleda {
 
-Client::Client(int id, const ClientDataset* data, const ModelFactory& factory,
-               Rng rng)
-    : id_(id), data_(data), rng_(rng) {
+Client::Client(int id, const ClientDataset* data,
+               std::shared_ptr<ModelPool> pool, Rng rng)
+    : id_(id), data_(data), pool_(std::move(pool)), rng_(rng) {
   if (data_ == nullptr || data_->train.empty() || data_->test.empty()) {
     throw std::invalid_argument("Client: empty dataset for client " +
                                 std::to_string(id));
   }
-  model_ = factory(rng_);
+  if (pool_ == nullptr) {
+    throw std::invalid_argument("Client: null model pool for client " +
+                                std::to_string(id));
+  }
+  // Keep the rng stream bit-identical to the per-client-model seed
+  // implementation, which constructed (and kept) a model here.
+  pool_->consume_init_stream(rng_);
 }
+
+Client::Client(int id, const ClientDataset* data, const ModelFactory& factory,
+               Rng rng)
+    : Client(id, data, std::make_shared<ModelPool>(factory), std::move(rng)) {}
 
 ModelParameters Client::train_steps(const ModelParameters& start, int steps,
                                     const ClientTrainConfig& cfg,
                                     const ModelParameters* anchor) {
-  start.apply_to(*model_);
+  ModelLease lease = pool_->acquire();
+  RoutabilityModel& model = lease.model();
+  start.apply_to(model);
 
   AdamOptions aopts;
   aopts.lr = cfg.learning_rate;
   aopts.weight_decay = cfg.l2_regularization;
-  Adam optimizer(model_->parameters(), aopts);
+  Adam& optimizer = lease.adam(aopts);
+  if (cfg.reset_optimizer || adam_moments_.empty()) {
+    // Fresh moments, exactly like constructing a new Adam each round.
+    optimizer.reset_state();
+  } else {
+    optimizer.import_moments(adam_moments_);
+  }
 
   BatchSampler sampler(data_->train.size(),
                        static_cast<std::size_t>(cfg.batch_size),
@@ -35,7 +54,7 @@ ModelParameters Client::train_steps(const ModelParameters& start, int steps,
   // are not part of the proximal term).
   std::vector<const Tensor*> anchor_values;
   if (anchor != nullptr) {
-    const auto params = model_->parameters();
+    const auto params = model.parameters();
     std::size_t i = 0;
     for (const ParameterEntry& e : anchor->entries()) {
       if (e.is_buffer) continue;
@@ -51,13 +70,13 @@ ModelParameters Client::train_steps(const ModelParameters& start, int steps,
   for (int step = 0; step < steps; ++step) {
     Batch batch = make_batch(data_->train, sampler.next());
     optimizer.zero_grad();
-    Tensor pred = model_->forward(batch.x, /*training=*/true);
+    Tensor pred = model.forward(batch.x, /*training=*/true);
     LossResult loss = mse_loss(pred, batch.y);
     loss_acc += loss.value;
-    model_->backward(loss.grad);
+    model.backward(loss.grad);
     if (anchor != nullptr && cfg.mu > 0.0) {
       // grad += mu * (w - W^r)
-      const auto params = model_->parameters();
+      const auto params = model.parameters();
       std::size_t i = 0;
       for (const ParameterEntry& e : anchor->entries()) {
         if (e.is_buffer) continue;
@@ -73,7 +92,15 @@ ModelParameters Client::train_steps(const ModelParameters& start, int steps,
     optimizer.step();
   }
   last_train_loss_ = steps > 0 ? static_cast<float>(loss_acc / steps) : 0.0f;
-  return ModelParameters::from_model(*model_);
+
+  if (cfg.reset_optimizer) {
+    adam_moments_.clear();
+  } else {
+    // The scratch optimizer goes back to the pool; the moments are the
+    // client's to keep.
+    adam_moments_ = optimizer.export_moments();
+  }
+  return ModelParameters::from_model(model);
 }
 
 ModelParameters Client::local_update(const ModelParameters& start,
@@ -88,13 +115,15 @@ ModelParameters Client::fine_tune(const ModelParameters& start, int steps,
 
 double Client::evaluate_train_loss(const ModelParameters& params,
                                    int max_batches) {
-  params.apply_to(*model_);
+  ModelLease lease = pool_->acquire();
+  RoutabilityModel& model = lease.model();
+  params.apply_to(model);
   BatchSampler sampler(data_->train.size(), 8, rng_.fork(0x6c6f7373ull));
   double acc = 0.0;
   int batches = 0;
   for (int b = 0; b < max_batches; ++b) {
     Batch batch = make_batch(data_->train, sampler.next());
-    Tensor pred = model_->forward(batch.x, /*training=*/false);
+    Tensor pred = model.forward(batch.x, /*training=*/false);
     acc += mse_loss(pred, batch.y).value;
     ++batches;
   }
@@ -102,7 +131,9 @@ double Client::evaluate_train_loss(const ModelParameters& params,
 }
 
 double Client::evaluate_test_auc(const ModelParameters& params) {
-  params.apply_to(*model_);
+  ModelLease lease = pool_->acquire();
+  RoutabilityModel& model = lease.model();
+  params.apply_to(model);
   AucAccumulator auc;
   // Evaluate in small batches to bound activation memory.
   const std::size_t chunk = 8;
@@ -113,7 +144,7 @@ double Client::evaluate_test_auc(const ModelParameters& params) {
       idx.push_back(i);
     }
     Batch batch = make_batch(data_->test, idx);
-    Tensor pred = model_->forward(batch.x, /*training=*/false);
+    Tensor pred = model.forward(batch.x, /*training=*/false);
     auc.add(pred, batch.y);
   }
   return auc.auc();

@@ -1,7 +1,6 @@
 // Client: one data owner in the decentralized training setting. Owns
 // a private dataset (never exposed through this interface beyond its
-// size), a local model instance, and implements the FedProx local
-// objective (paper Eq. 1):
+// size) and implements the FedProx local objective (paper Eq. 1):
 //
 //   L_Prox(w_k, W^r) = sum_i (w_k(X_i) - Y_i)^2 + mu * ||W^r - w_k||^2
 //
@@ -9,12 +8,22 @@
 // gradient each step (the constant factor 2 is absorbed into mu,
 // matching the common FedProx implementation). mu = 0 recovers plain
 // FedAvg local training.
+//
+// Clients do NOT own a model: for the duration of each local_update /
+// fine_tune / evaluate call they borrow a scratch {model, Adam}
+// instance from a ModelPool and load the caller's ModelParameters into
+// it, so a K-client federation holds O(threads) model instances rather
+// than O(K). Client-persistent state is limited to the dataset
+// pointer, the rng stream, and — when reset_optimizer == false — the
+// serialized Adam moments carried between rounds.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "data/dataset.hpp"
 #include "fl/parameters.hpp"
+#include "models/pool.hpp"
 #include "models/registry.hpp"
 #include "nn/optimizer.hpp"
 
@@ -27,12 +36,24 @@ struct ClientTrainConfig {
   double l2_regularization = 1e-5;
   double mu = 1e-4;         // FedProx proximal strength (0 = FedAvg)
   // The paper restarts local optimization from the freshly deployed
-  // aggregate each round; Adam moments are reset accordingly.
+  // aggregate each round; Adam moments are reset accordingly. With
+  // false, the client's moments survive between calls (serialized as
+  // AdamMoments — the pooled scratch optimizer itself is shared).
   bool reset_optimizer = true;
 };
 
 class Client {
  public:
+  // Shares `pool`'s scratch models with every other client on it. The
+  // client's rng consumes one factory construction so its stream stays
+  // bit-identical to the seed implementation (which built and kept a
+  // model per client).
+  Client(int id, const ClientDataset* data, std::shared_ptr<ModelPool> pool,
+         Rng rng);
+
+  // Convenience: a private single-client pool over `factory`. Memory
+  // behaves like the seed implementation (at most one scratch model per
+  // client); prefer the shared-pool constructor for large federations.
   Client(int id, const ClientDataset* data, const ModelFactory& factory,
          Rng rng);
 
@@ -46,11 +67,12 @@ class Client {
   std::int64_t num_train() const { return data_->num_train(); }
   std::int64_t num_test() const { return data_->num_test(); }
   const ClientDataset& dataset() const { return *data_; }
+  const ModelPool& pool() const { return *pool_; }
 
-  // Loads `start` into the local model, trains cfg.steps mini-batch
-  // steps with the FedProx objective anchored at `start`, and returns
-  // the resulting parameters. Mean training loss is exposed through
-  // last_train_loss().
+  // Loads `start` into a borrowed scratch model, trains cfg.steps
+  // mini-batch steps with the FedProx objective anchored at `start`,
+  // and returns the resulting parameters. Mean training loss is
+  // exposed through last_train_loss().
   ModelParameters local_update(const ModelParameters& start,
                                const ClientTrainConfig& cfg);
 
@@ -69,8 +91,6 @@ class Client {
 
   float last_train_loss() const { return last_train_loss_; }
 
-  RoutabilityModel& model() { return *model_; }
-
  private:
   // Runs `steps` optimizer steps; anchor != nullptr enables the
   // proximal term.
@@ -80,9 +100,12 @@ class Client {
 
   int id_ = 0;
   const ClientDataset* data_ = nullptr;
-  RoutabilityModelPtr model_;
+  std::shared_ptr<ModelPool> pool_;
   Rng rng_;
   float last_train_loss_ = 0.0f;
+  // Persisted optimizer state for reset_optimizer == false runs; empty
+  // means "start from zero moments".
+  AdamMoments adam_moments_;
 };
 
 }  // namespace fleda

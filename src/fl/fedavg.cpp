@@ -7,8 +7,7 @@ std::vector<ModelParameters> FedAvg::run_rounds(
     const FLRunOptions& opts, FederationSim& sim,
     ParticipationPolicy& participation) {
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  ModelParameters global = ModelParameters::from_model(*init);
+  ModelParameters global = initial_model_parameters(factory, rng);
 
   ClientTrainConfig cfg = opts.client;
   cfg.mu = 0.0;  // FedAvg: no proximal term

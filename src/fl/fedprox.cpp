@@ -7,8 +7,7 @@ std::vector<ModelParameters> FedProx::run_rounds(
     const FLRunOptions& opts, FederationSim& sim,
     ParticipationPolicy& participation) {
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  ModelParameters global = ModelParameters::from_model(*init);
+  ModelParameters global = initial_model_parameters(factory, rng);
 
   const std::vector<double> weights = Server::client_weights(clients);
   for (int r = 0; r < opts.rounds; ++r) {

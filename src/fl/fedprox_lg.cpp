@@ -7,8 +7,7 @@ std::vector<ModelParameters> FedProxLG::run_rounds(
     const FLRunOptions& opts, FederationSim& sim,
     ParticipationPolicy& participation) {
   Rng rng(opts.seed);
-  RoutabilityModelPtr init = factory(rng);
-  ModelParameters global = ModelParameters::from_model(*init);
+  ModelParameters global = initial_model_parameters(factory, rng);
 
   // Each client's full parameter state; the aggregated global part is
   // spliced in at deployment, the local part persists across rounds.

@@ -8,11 +8,17 @@
 namespace fleda {
 
 ModelParameters ModelParameters::from_model(Module& model) {
+  // Hot path (called once per local_update): one virtual walk each for
+  // parameters and buffers, entries reserved up front so the snapshot
+  // vector never reallocates mid-extraction.
+  const std::vector<Parameter*> params = model.parameters();
+  const std::vector<NamedBuffer> buffers = model.buffers();
   ModelParameters snapshot;
-  for (Parameter* p : model.parameters()) {
+  snapshot.entries_.reserve(params.size() + buffers.size());
+  for (Parameter* p : params) {
     snapshot.entries_.push_back({p->name, false, p->value});
   }
-  for (const NamedBuffer& b : model.buffers()) {
+  for (const NamedBuffer& b : buffers) {
     snapshot.entries_.push_back({b.name, true, *b.tensor});
   }
   return snapshot;
@@ -149,6 +155,12 @@ std::int64_t ModelParameters::numel() const {
 
 bool is_output_layer_param(const std::string& name) {
   return name.rfind("output_conv", 0) == 0;
+}
+
+ModelParameters initial_model_parameters(const ModelFactory& factory,
+                                         Rng& rng) {
+  RoutabilityModelPtr init = factory(rng);
+  return ModelParameters::from_model(*init);
 }
 
 }  // namespace fleda

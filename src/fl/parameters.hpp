@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "models/registry.hpp"
 #include "nn/module.hpp"
 
 namespace fleda {
@@ -71,5 +72,13 @@ class ModelParameters {
 // Name predicate for the paper's FedProx-LG split: the models' output
 // layer ("output_conv.*") is the private local part.
 bool is_output_layer_param(const std::string& name);
+
+// Builds one model instance from `factory`, snapshots it, and destroys
+// it before returning. Round loops use this for their initial global /
+// cluster parameters so no algorithm pins a whole model for the length
+// of a run — the O(threads) live-instance budget belongs to the
+// scratch-model pool.
+ModelParameters initial_model_parameters(const ModelFactory& factory,
+                                         Rng& rng);
 
 }  // namespace fleda

@@ -36,9 +36,10 @@ SyntheticWorld make_synthetic_world(std::uint64_t seed,
         seed + k + 1, options.train_samples, options.test_samples));
   }
   w.factory = make_model_factory(ModelKind::kFLNet, 2);
+  w.pool = std::make_shared<ModelPool>(w.factory);
   Rng rng(seed);
   for (std::size_t k = 0; k < w.data.size(); ++k) {
-    w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.factory,
+    w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.pool,
                            rng.fork(k));
   }
   return w;

@@ -31,11 +31,15 @@ ClientDataset make_synthetic_client(int id, float threshold,
 
 // A ready-to-run federation. Client k is seeded with `seed + k + 1`
 // and its model rng forked from Rng(seed); moving the struct is safe
-// (clients point into the data vector's stable heap storage).
+// (clients point into the data vector's stable heap storage and share
+// the heap-allocated model pool). All clients borrow scratch models
+// from `pool`, so the world holds O(threads) model instances however
+// many clients it has.
 struct SyntheticWorld {
   std::vector<ClientDataset> data;
   std::vector<Client> clients;
   ModelFactory factory;
+  std::shared_ptr<ModelPool> pool;
 };
 
 SyntheticWorld make_synthetic_world(std::uint64_t seed,

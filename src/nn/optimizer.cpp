@@ -1,6 +1,7 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace fleda {
 
@@ -49,6 +50,31 @@ void Adam::reset_state() {
   for (auto& t : m_) t.fill(0.0f);
   for (auto& t : v_) t.fill(0.0f);
   t_ = 0;
+}
+
+AdamMoments Adam::export_moments() const {
+  AdamMoments moments;
+  moments.m = m_;
+  moments.v = v_;
+  moments.t = t_;
+  return moments;
+}
+
+void Adam::import_moments(const AdamMoments& moments) {
+  if (moments.m.size() != m_.size() || moments.v.size() != v_.size()) {
+    throw std::invalid_argument("Adam::import_moments: parameter count "
+                                "mismatch");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    if (moments.m[i].shape() != m_[i].shape() ||
+        moments.v[i].shape() != v_[i].shape()) {
+      throw std::invalid_argument("Adam::import_moments: shape mismatch at "
+                                  "parameter " + std::to_string(i));
+    }
+  }
+  m_ = moments.m;
+  v_ = moments.v;
+  t_ = moments.t;
 }
 
 void Adam::step() {

@@ -53,6 +53,24 @@ struct AdamOptions {
   double weight_decay = 1e-5;  // paper's L2 strength
 };
 
+// A detached snapshot of Adam's per-parameter state (first/second
+// moments and step counter). Clients that keep their optimizer across
+// rounds (ClientTrainConfig::reset_optimizer == false) persist this
+// instead of a whole model+optimizer pair — the scratch-model pool
+// owns the live Adam, the client owns only the moments.
+struct AdamMoments {
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+  std::int64_t t = 0;
+
+  bool empty() const { return m.empty() && v.empty() && t == 0; }
+  void clear() {
+    m.clear();
+    v.clear();
+    t = 0;
+  }
+};
+
 class Adam : public Optimizer {
  public:
   Adam(std::vector<Parameter*> params, const AdamOptions& opts);
@@ -61,6 +79,17 @@ class Adam : public Optimizer {
   // Resets moment estimates and the step counter (used when a client
   // receives fresh global parameters and restarts local optimization).
   void reset_state();
+
+  // Replaces the hyperparameters while keeping the moment buffers —
+  // a pooled optimizer serves callers with different train configs.
+  void set_options(const AdamOptions& opts) { opts_ = opts; }
+  const AdamOptions& options() const { return opts_; }
+
+  // Deep-copies the moments out / back in. import throws
+  // std::invalid_argument if the snapshot's shapes do not match this
+  // optimizer's parameters.
+  AdamMoments export_moments() const;
+  void import_moments(const AdamMoments& moments);
 
  private:
   AdamOptions opts_;

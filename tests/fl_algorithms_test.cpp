@@ -21,7 +21,9 @@
 #include "fl/finetune.hpp"
 #include "fl/ifca.hpp"
 #include "fl/registry.hpp"
+#include "models/pool.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fleda {
 namespace {
@@ -54,20 +56,35 @@ struct TinyWorld {
   std::vector<ClientDataset> data;
   std::vector<Client> clients;
   ModelFactory factory;
+  std::shared_ptr<ModelPool> pool;  // set only by make_pooled_world
 };
 
-TinyWorld make_world(std::uint64_t seed = 1) {
+// One fixture, two memory layouts. "Owned" (shared_pool = false):
+// every client gets a private scratch pool — the seed implementation's
+// one-model-per-client behavior. "Pooled": all clients borrow from one
+// shared scratch pool (w.pool).
+TinyWorld make_world(std::uint64_t seed = 1, bool shared_pool = false) {
   TinyWorld w;
   w.data.push_back(make_tiny_client(1, 0.4f, seed + 1));
   w.data.push_back(make_tiny_client(2, 0.5f, seed + 2));
   w.data.push_back(make_tiny_client(3, 0.6f, seed + 3, /*train=*/9));
   w.factory = make_model_factory(ModelKind::kFLNet, 2);
+  if (shared_pool) w.pool = std::make_shared<ModelPool>(w.factory);
   Rng rng(seed);
   for (std::size_t k = 0; k < w.data.size(); ++k) {
-    w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.factory,
-                           rng.fork(k));
+    if (shared_pool) {
+      w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.pool,
+                             rng.fork(k));
+    } else {
+      w.clients.emplace_back(w.data[k].client_id, &w.data[k], w.factory,
+                             rng.fork(k));
+    }
   }
   return w;
+}
+
+TinyWorld make_pooled_world(std::uint64_t seed = 1) {
+  return make_world(seed, /*shared_pool=*/true);
 }
 
 FLRunOptions tiny_options(int rounds = 2) {
@@ -420,6 +437,52 @@ TEST(Registry, EveryNameRunsAndMatchesDirectDispatchBitIdentically) {
       EXPECT_TRUE(bit_identical(finals[k], reference[k])) << "client " << k;
     }
   }
+}
+
+// --- scratch-model pool (tentpole) -----------------------------------
+
+TEST(ModelPoolIdentity, PooledMatchesOwnedForEveryAlgorithmAndPoolSize) {
+  // A federation whose clients borrow from one shared scratch pool
+  // must reproduce the per-client-model ("owned") layout bit for bit —
+  // for every registered algorithm, at several thread-pool sizes. Any
+  // state leaking through a scratch model (weights, BatchNorm buffers,
+  // Adam moments) between two clients' leases would break this.
+  AlgorithmOptions options;
+  options.cluster_assignment = {0, 0, 1};  // the tiny world has 3 clients
+  options.finetune_steps = 4;
+  options.async.buffer_size = 2;
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool::reset_global(threads);
+    for (const std::string& name : AlgorithmRegistry::global().names()) {
+      SCOPED_TRACE(name + " @ threads=" + std::to_string(threads));
+      const FLRunOptions opts = tiny_options(2);
+
+      std::vector<ModelParameters> reference;
+      {
+        TinyWorld owned = make_world(91);
+        reference = AlgorithmRegistry::global().create(name, options)->run(
+            owned.clients, owned.factory, opts);
+      }  // destroy the owned world's models before counting the pooled run
+
+      RoutabilityModel::reset_peak_instances();
+      const std::int64_t base = RoutabilityModel::live_instances();
+      TinyWorld pooled = make_pooled_world(91);
+      std::vector<ModelParameters> finals =
+          AlgorithmRegistry::global().create(name, options)->run(
+              pooled.clients, pooled.factory, opts);
+
+      ASSERT_EQ(finals.size(), reference.size());
+      for (std::size_t k = 0; k < finals.size(); ++k) {
+        EXPECT_TRUE(bit_identical(finals[k], reference[k])) << "client " << k;
+      }
+      // The pooled run never held more live models than the budget.
+      EXPECT_LE(RoutabilityModel::peak_instances() - base,
+                static_cast<std::int64_t>(threads) + 1);
+    }
+  }
+  ThreadPool::reset_global(0);
 }
 
 // --- participation policies (tentpole) -------------------------------

@@ -8,8 +8,10 @@
 // sizes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 
 #include "fl/async_fedavg.hpp"
 #include "fl/fedavg.hpp"
@@ -510,6 +512,144 @@ TEST(Determinism, AsyncTraceAndParametersInvariantToPoolSize) {
   RunArtifacts three = run_traced(factory, 3, sim);
   expect_identical(one, three);
   ThreadPool::reset_global(0);
+}
+
+// --- O(threads) model memory at K = 1000 (tentpole) ------------------
+
+TEST(ModelPoolScale, ThousandClientsHoldOThreadsModelInstances) {
+  // 1000 clients sharing 9 tiny datasets and ONE scratch-model pool:
+  // over construction, training, and evaluation the peak live
+  // RoutabilityModel count must stay within threads + 1.
+  std::vector<ClientDataset> shared_data;
+  for (int d = 0; d < 9; ++d) {
+    shared_data.push_back(make_synthetic_client(
+        d + 1, 0.35f + 0.04f * static_cast<float>(d), 2000 + d));
+  }
+  ModelFactory factory = make_model_factory(ModelKind::kFLNet, 2);
+  auto pool = std::make_shared<ModelPool>(factory);
+
+  RoutabilityModel::reset_peak_instances();
+  const std::int64_t base = RoutabilityModel::live_instances();
+
+  Rng rng(4242);
+  std::vector<Client> clients;
+  clients.reserve(1000);
+  for (std::size_t k = 0; k < 1000; ++k) {
+    clients.emplace_back(static_cast<int>(k) + 1, &shared_data[k % 9],
+                         pool, rng.fork(k));
+  }
+
+  FLRunOptions opts = tiny_options(2);
+  opts.client.steps = 1;
+  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.sample_size = 10;
+  opts.participation.seed = 31337;
+  FedAvg algo;
+  std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
+  ASSERT_EQ(finals.size(), 1000u);
+  const double auc = clients[0].evaluate_test_auc(finals[0]);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0);
+
+  const std::int64_t budget =
+      static_cast<std::int64_t>(ThreadPool::global().size()) + 1;
+  EXPECT_LE(RoutabilityModel::peak_instances() - base, budget);
+  EXPECT_LE(static_cast<std::int64_t>(pool->resident()), budget);
+}
+
+// --- AsyncFedAvg max_in_flight dispatch gate (satellite) --------------
+
+// Counts the maximum number of simultaneously in-flight clients in a
+// trace (kDispatch opens a client's chain; its kUplinkDone / kDropped
+// closes it). Closes without a matching open — e.g. the kDropped a
+// permanently-offline client gets at dispatch time — are ignored so
+// they cannot mask cap violations by driving the count negative.
+int max_concurrent_in_flight(const std::vector<SimTraceEntry>& trace) {
+  std::set<int> open;
+  std::size_t peak = 0;
+  for (const SimTraceEntry& e : trace) {
+    if (e.client < 0) continue;
+    if (e.kind == SimEventKind::kDispatch) {
+      open.insert(e.client);
+      peak = std::max(peak, open.size());
+    } else if (e.kind == SimEventKind::kUplinkDone ||
+               e.kind == SimEventKind::kDropped) {
+      open.erase(e.client);
+    }
+  }
+  return static_cast<int>(peak);
+}
+
+TEST(AsyncFedAvg, MaxInFlightCapIsRespectedAndRotatesTheFleet) {
+  TinyWorld w = make_world(44, /*num_clients=*/6);
+  FLRunOptions opts = tiny_options(4);
+  opts.trace = true;
+  SimReport report;
+  opts.sim_report = &report;
+  AsyncConfig config;
+  config.buffer_size = 2;
+  config.max_in_flight = 2;
+  AsyncFedAvg algo(config);
+  std::vector<ModelParameters> finals = algo.run(w.clients, w.factory, opts);
+  ASSERT_EQ(finals.size(), 6u);
+
+  EXPECT_LE(max_concurrent_in_flight(report.trace), 2);
+  // The freed slots rotate FIFO through the fleet: more distinct
+  // clients than the cap get dispatched over the run.
+  std::set<int> dispatched;
+  for (const SimTraceEntry& e : report.trace) {
+    if (e.kind == SimEventKind::kDispatch) dispatched.insert(e.client);
+  }
+  EXPECT_GT(dispatched.size(), 2u);
+}
+
+TEST(AsyncFedAvg, MaxInFlightIsDeterministic) {
+  auto run_once = [] {
+    TinyWorld w = make_world(45, /*num_clients=*/5);
+    FLRunOptions opts = tiny_options(3);
+    opts.trace = true;
+    opts.sim = SimConfig::heterogeneous(5, 13);
+    SimReport report;
+    opts.sim_report = &report;
+    AsyncConfig config;
+    config.buffer_size = 2;
+    config.max_in_flight = 2;
+    AsyncFedAvg algo(config);
+    RunArtifacts artifacts;
+    artifacts.finals = algo.run(w.clients, w.factory, opts);
+    artifacts.trace = std::move(report.trace);
+    artifacts.total_time_s = report.total_time_s;
+    return artifacts;
+  };
+  expect_identical(run_once(), run_once());
+}
+
+TEST(AsyncFedAvg, UngatedRunMatchesCapAtFleetSize) {
+  // cap = 0 (unlimited) and cap = K admit the same schedule: the gate
+  // only changes behavior when it actually binds.
+  auto run_with_cap = [](int cap) {
+    TinyWorld w = make_world(46, /*num_clients=*/4);
+    FLRunOptions opts = tiny_options(3);
+    opts.trace = true;
+    SimReport report;
+    opts.sim_report = &report;
+    AsyncConfig config;
+    config.buffer_size = 2;
+    config.max_in_flight = cap;
+    AsyncFedAvg algo(config);
+    RunArtifacts artifacts;
+    artifacts.finals = algo.run(w.clients, w.factory, opts);
+    artifacts.trace = std::move(report.trace);
+    artifacts.total_time_s = report.total_time_s;
+    return artifacts;
+  };
+  expect_identical(run_with_cap(0), run_with_cap(4));
+}
+
+TEST(AsyncFedAvg, RejectsNegativeMaxInFlight) {
+  AsyncConfig config;
+  config.max_in_flight = -1;
+  EXPECT_THROW(AsyncFedAvg{config}, std::invalid_argument);
 }
 
 }  // namespace
