@@ -42,6 +42,8 @@ int main() {
   opts.rounds = cfg.scale.rounds;
   opts.client.steps = cfg.scale.steps_per_round;
   opts.client.batch_size = cfg.scale.batch_size;
+  opts.client.reset_optimizer = cfg.reset_optimizer;
+  opts.aggregation = cfg.aggregation;
   PaperHyperParams hp;
   opts.client.learning_rate = hp.learning_rate;
   opts.client.l2_regularization = hp.l2_regularization;

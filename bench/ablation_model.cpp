@@ -56,7 +56,8 @@ class FLNetBN : public RoutabilityModel {
 
 MethodResult run_variant(const std::string& label, const ModelFactory& factory,
                          const std::vector<ClientDataset>& data,
-                         const RunScale& scale, TrainingMethod method) {
+                         const ExperimentConfig& cfg, TrainingMethod method) {
+  const RunScale& scale = cfg.scale;
   PaperHyperParams hp;
   // Each variant has its own architecture, so each gets its own pool;
   // within the variant all clients share its scratch models.
@@ -74,6 +75,7 @@ MethodResult run_variant(const std::string& label, const ModelFactory& factory,
   ccfg.learning_rate = hp.learning_rate;
   ccfg.l2_regularization = hp.l2_regularization;
   ccfg.mu = hp.fedprox_mu;
+  ccfg.reset_optimizer = cfg.reset_optimizer;
 
   if (method == TrainingMethod::kCentral) {
     BaselineOptions bopts;
@@ -86,6 +88,7 @@ MethodResult run_variant(const std::string& label, const ModelFactory& factory,
   FLRunOptions opts;
   opts.rounds = scale.rounds;
   opts.client = ccfg;
+  opts.aggregation = cfg.aggregation;
   std::vector<ModelParameters> finals = algo.run(clients, factory, opts);
   return evaluate_per_client(label, clients, finals);
 }
@@ -107,9 +110,9 @@ int main() {
 
   auto add_row = [&](const std::string& label, const ModelFactory& factory) {
     MethodResult fed =
-        run_variant(label, factory, data, cfg.scale, TrainingMethod::kFedProx);
+        run_variant(label, factory, data, cfg, TrainingMethod::kFedProx);
     MethodResult central =
-        run_variant(label, factory, data, cfg.scale, TrainingMethod::kCentral);
+        run_variant(label, factory, data, cfg, TrainingMethod::kCentral);
     t.add_row({label, AsciiTable::fmt(fed.average, 3),
                AsciiTable::fmt(central.average, 3),
                AsciiTable::fmt(central.average - fed.average, 3)});

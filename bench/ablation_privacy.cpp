@@ -28,6 +28,7 @@ class DpFedProx : public FederatedAlgorithm {
     Rng noise_rng(opts.seed ^ 0xD9E5ull);
 
     const std::vector<double> weights = Server::client_weights(clients);
+    const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
     for (int r = 0; r < opts.rounds; ++r) {
       const std::vector<std::size_t> cohort =
           select_cohort(participation, r, clients.size(), opts, sim);
@@ -37,8 +38,9 @@ class DpFedProx : public FederatedAlgorithm {
       for (ModelParameters& update : updates) {
         privatize_update(update, global, dp_, noise_rng);
       }
-      global =
-          Server::aggregate(updates, Server::cohort_weights(weights, cohort));
+      global = Server::aggregate(*rule, global, updates,
+                                 Server::cohort_weights(weights, cohort),
+                                 cohort);
     }
     return std::vector<ModelParameters>(clients.size(), global);
   }
@@ -64,9 +66,11 @@ int main() {
 
   FLRunOptions opts;
   opts.rounds = cfg.scale.rounds;
+  opts.aggregation = cfg.aggregation;
   PaperHyperParams hp;
   opts.client.steps = cfg.scale.steps_per_round;
   opts.client.batch_size = cfg.scale.batch_size;
+  opts.client.reset_optimizer = cfg.reset_optimizer;
   opts.client.learning_rate = hp.learning_rate;
   opts.client.l2_regularization = hp.l2_regularization;
   opts.client.mu = hp.fedprox_mu;

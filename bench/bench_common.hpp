@@ -1,6 +1,10 @@
 // Shared setup for the paper-table bench binaries: scale resolution
 // (FLEDA_SCALE), dataset caching (FLEDA_CACHE_DIR, default
-// .fleda-cache), and the per-table run/report driver.
+// .fleda-cache), run knobs that used to be programmatic-only
+// (FLEDA_AGG_RULE — aggregation rule by registry name,
+// FLEDA_MAX_IN_FLIGHT — the AsyncFedAvg dispatch gate,
+// FLEDA_RESET_OPTIMIZER — 0 carries Adam moments across rounds), and
+// the per-table run/report driver.
 #pragma once
 
 #include <cstdio>
@@ -21,6 +25,20 @@ inline ExperimentConfig make_config(ModelKind model) {
   cfg.scale = scale_from_env();
   const char* cache = std::getenv("FLEDA_CACHE_DIR");
   cfg.cache_dir = cache != nullptr ? cache : ".fleda-cache";
+  // Knobs that were programmatic-only before: every make_config-based
+  // bench (tables, figures, ablations) can exercise the
+  // robust-aggregation rules, the async dispatch gate, and persistent
+  // optimizer moments straight from the environment. micro_sim builds
+  // its own adversarial configurations and ignores these.
+  if (const char* rule = std::getenv("FLEDA_AGG_RULE")) {
+    cfg.aggregation.rule = rule;
+  }
+  if (const char* gate = std::getenv("FLEDA_MAX_IN_FLIGHT")) {
+    cfg.async.max_in_flight = std::atoi(gate);
+  }
+  if (const char* reset = std::getenv("FLEDA_RESET_OPTIMIZER")) {
+    cfg.reset_optimizer = std::atoi(reset) != 0;
+  }
   return cfg;
 }
 

@@ -22,10 +22,21 @@
 // keep the peak live RoutabilityModel count at threads + 1 or below
 // for the whole thousand-client run.
 //
+// Part 4 is the Byzantine robustness demonstration: the same K = 1000
+// federation with 10% sign-flip attackers in the fleet. Plain
+// weighted_average lets the flipped deltas drag the global model away
+// from (or explode past) the attack-free trajectory, while
+// coordinate_median and trimmed_mean must finish within 0.02 AUC of
+// the attack-free baseline. A poisoned run that trips the aggregation
+// layer's NaN guard counts as diverged — loudly, which is the point of
+// the guard.
+//
 // Output is one JSON object per line, easy to diff/collect in CI, and
 // the headline numbers are also written to BENCH_sim.json so future
 // PRs can gate on perf regressions (the machine-readable trajectory).
+#include <cmath>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -222,13 +233,33 @@ int bench_straggler() {
 
 // --- part 3: K = 1000 clients, C = 20 sampled per round --------------
 
+struct ThousandOptions {
+  std::size_t num_clients = 1000;
+  int cohort = 20;
+  int rounds = 3;
+  int steps = 2;
+  // Aggregation rule by registry name; empty = weighted_average.
+  std::string rule;
+  double trim_fraction = 0.2;
+  // Byzantine fraction of the fleet (attackers spread evenly).
+  std::size_t attackers = 0;
+  AttackSpec attack;
+};
+
 struct ThousandRun {
   std::vector<ModelParameters> finals;
   ChannelStats comm;
   SimReport report;
+  // Average test AUC of the final global model over the 9 distinct
+  // datasets (clients 0..8 cover each exactly once).
+  double final_auc = 0.0;
+  // A poisoned run may trip the aggregation layer's non-finite guard;
+  // that is the loud failure mode the bench demonstrates.
+  bool failed = false;
+  std::string error;
 };
 
-ThousandRun run_thousand(std::size_t num_clients, int cohort, int rounds) {
+ThousandRun run_thousand(const ThousandOptions& t) {
   // 9 shared synthetic datasets; client k trains on dataset k % 9 (the
   // paper's data heterogeneity, scaled to a thousand participants).
   static const std::vector<ClientDataset> shared_data = [] {
@@ -246,29 +277,51 @@ ThousandRun run_thousand(std::size_t num_clients, int cohort, int rounds) {
   auto pool = std::make_shared<ModelPool>(factory);
   Rng rng(4242);
   std::vector<Client> clients;
-  clients.reserve(num_clients);
-  for (std::size_t k = 0; k < num_clients; ++k) {
+  clients.reserve(t.num_clients);
+  for (std::size_t k = 0; k < t.num_clients; ++k) {
     clients.emplace_back(static_cast<int>(k) + 1, &shared_data[k % 9],
                          pool, rng.fork(k));
   }
 
   FLRunOptions opts;
-  opts.rounds = rounds;
-  opts.client.steps = 2;
+  opts.rounds = t.rounds;
+  opts.client.steps = t.steps;
   opts.client.batch_size = 2;
   opts.client.learning_rate = 1e-3;
   opts.client.mu = 0.0;
   opts.seed = 99;
   opts.participation.kind = ParticipationKind::kUniformSample;
-  opts.participation.sample_size = cohort;
+  opts.participation.sample_size = t.cohort;
   opts.participation.seed = 31337;
-  opts.sim = SimConfig::heterogeneous(num_clients, /*seed=*/5);
+  opts.aggregation.rule = t.rule;
+  opts.aggregation.trim_fraction = t.trim_fraction;
+  opts.sim = SimConfig::heterogeneous(t.num_clients, /*seed=*/5);
+  if (t.attackers > 0) add_attackers(opts.sim, t.attackers, t.attack);
 
   ThousandRun run;
   opts.comm_stats = &run.comm;
   opts.sim_report = &run.report;
   FedAvg algo;
-  run.finals = algo.run(clients, factory, opts);
+  try {
+    run.finals = algo.run(clients, factory, opts);
+  } catch (const std::exception& e) {
+    run.failed = true;
+    run.error = e.what();
+    return run;
+  }
+  double auc = 0.0;
+  for (std::size_t k = 0; k < 9; ++k) {
+    auc += clients[k].evaluate_test_auc(run.finals[k]);
+  }
+  run.final_auc = auc / 9.0;
+  if (!std::isfinite(run.final_auc)) {
+    // A blown-up global model can score NaN; report it as a failure
+    // with auc 0 so the JSON stays parseable and the gate sees
+    // "diverged".
+    run.failed = true;
+    run.error = "non-finite final AUC (global model diverged)";
+    run.final_auc = 0.0;
+  }
   return run;
 }
 
@@ -291,12 +344,28 @@ struct SimBenchSummary {
   std::int64_t model_instance_budget = 0;
   std::uint64_t finals_fingerprint = 0;
   double rss_mb = -1.0;
+  // Part 4: Byzantine robustness trajectory.
+  std::size_t byz_clients = 0;
+  int byz_cohort = 0;
+  const char* byz_attack = "none";
+  std::size_t byz_attackers = 0;
+  double byz_tolerance = 0.0;
+  double byz_clean_auc = 0.0;
+  double byz_weighted_average_auc = 0.0;
+  bool byz_weighted_average_diverged = false;
+  double byz_coordinate_median_auc = 0.0;
+  double byz_trimmed_mean_auc = 0.0;
+  bool byz_pass = false;
 };
 
 int bench_thousand_clients(SimBenchSummary* summary) {
   constexpr std::size_t kK = 1000;
   constexpr int kCohort = 20;
   constexpr int kRounds = 3;
+  ThousandOptions topts;
+  topts.num_clients = kK;
+  topts.cohort = kCohort;
+  topts.rounds = kRounds;
 
   // O(threads) memory gate: the pooled run (client construction
   // included — its transient per-client init replays are serial) may
@@ -306,12 +375,18 @@ int bench_thousand_clients(SimBenchSummary* summary) {
       static_cast<std::int64_t>(ThreadPool::global().size()) + 1;
 
   Timer timer;
-  const ThousandRun first = run_thousand(kK, kCohort, kRounds);
+  const ThousandRun first = run_thousand(topts);
   const double host_s = timer.seconds();
   const std::int64_t peak_models = RoutabilityModel::peak_instances();
   const bool o_threads_memory = peak_models <= budget;
 
-  const ThousandRun replay = run_thousand(kK, kCohort, kRounds);
+  const ThousandRun replay = run_thousand(topts);
+  if (first.failed || replay.failed) {
+    std::printf(
+        "{\"bench\":\"thousand_clients\",\"pass\":false,\"error\":\"%s\"}\n",
+        (first.failed ? first.error : replay.error).c_str());
+    return 1;
+  }
 
   // O(C) gate: every round bills exactly C deployments down and C
   // updates up, each a full fp32 model snapshot.
@@ -362,6 +437,81 @@ int bench_thousand_clients(SimBenchSummary* summary) {
   return pass ? 0 : 1;
 }
 
+// --- part 4: Byzantine clients vs robust aggregation -----------------
+
+int bench_byzantine(SimBenchSummary* summary) {
+  // K = 1000 fleet, C = 20 sampled per round, f = 10% sign-flip
+  // attackers magnifying their reversed delta 10x — each sampled
+  // attacker pulls the average a full honest-cohort step backwards.
+  ThousandOptions base;
+  base.rounds = 32;
+  base.steps = 4;
+  base.attack.kind = AttackKind::kSignFlip;
+  base.attack.scale = 10.0;
+  constexpr std::size_t kAttackers = 100;
+  constexpr double kTolerance = 0.02;
+
+  ThousandOptions clean = base;  // attack-free weighted_average baseline
+  ThousandOptions poisoned_wa = base;
+  poisoned_wa.attackers = kAttackers;
+  ThousandOptions poisoned_median = poisoned_wa;
+  poisoned_median.rule = "coordinate_median";
+  ThousandOptions poisoned_trimmed = poisoned_wa;
+  poisoned_trimmed.rule = "trimmed_mean";  // trims 4 of each tail at C=20
+
+  const ThousandRun r_clean = run_thousand(clean);
+  const ThousandRun r_wa = run_thousand(poisoned_wa);
+  const ThousandRun r_median = run_thousand(poisoned_median);
+  const ThousandRun r_trimmed = run_thousand(poisoned_trimmed);
+
+  // The robust rules must track the attack-free trajectory; plain
+  // weighted_average must not (either it drifts past the tolerance or
+  // it blows up into the aggregation layer's non-finite guard — the
+  // loud failure this PR's bugfix installs).
+  const bool clean_ok = !r_clean.failed;
+  const bool wa_diverged =
+      r_wa.failed || std::abs(r_wa.final_auc - r_clean.final_auc) > kTolerance;
+  const bool median_tracks =
+      !r_median.failed &&
+      std::abs(r_median.final_auc - r_clean.final_auc) <= kTolerance;
+  const bool trimmed_tracks =
+      !r_trimmed.failed &&
+      std::abs(r_trimmed.final_auc - r_clean.final_auc) <= kTolerance;
+  const bool pass = clean_ok && wa_diverged && median_tracks && trimmed_tracks;
+
+  std::printf(
+      "{\"bench\":\"byzantine\",\"clients\":%zu,\"cohort\":%d,\"rounds\":%d,"
+      "\"attackers\":%zu,\"attack\":\"%s\",\"attack_scale\":%.1f,"
+      "\"clean_auc\":%.4f,\"weighted_average_auc\":%.4f,"
+      "\"weighted_average_diverged\":%s,\"coordinate_median_auc\":%.4f,"
+      "\"trimmed_mean_auc\":%.4f,\"tolerance\":%.3f,\"pass\":%s}\n",
+      base.num_clients, base.cohort, base.rounds, kAttackers,
+      to_string(base.attack.kind), base.attack.scale, r_clean.final_auc,
+      r_wa.final_auc, wa_diverged ? "true" : "false", r_median.final_auc,
+      r_trimmed.final_auc, kTolerance, pass ? "true" : "false");
+  if (r_wa.failed) {
+    std::printf(
+        "{\"bench\":\"byzantine\",\"note\":\"weighted_average run aborted by "
+        "the aggregation guard\",\"error\":\"%s\"}\n",
+        r_wa.error.c_str());
+  }
+
+  if (summary != nullptr) {
+    summary->byz_clients = base.num_clients;
+    summary->byz_cohort = base.cohort;
+    summary->byz_attack = to_string(base.attack.kind);
+    summary->byz_attackers = kAttackers;
+    summary->byz_tolerance = kTolerance;
+    summary->byz_clean_auc = r_clean.final_auc;
+    summary->byz_weighted_average_auc = r_wa.final_auc;
+    summary->byz_weighted_average_diverged = wa_diverged;
+    summary->byz_coordinate_median_auc = r_median.final_auc;
+    summary->byz_trimmed_mean_auc = r_trimmed.final_auc;
+    summary->byz_pass = pass;
+  }
+  return pass ? 0 : 1;
+}
+
 // The machine-readable perf trajectory: one JSON object per run, so a
 // future PR can diff events/sec, round time, and the memory budget
 // against this one's CI artifact.
@@ -379,6 +529,11 @@ void write_bench_json(const SimBenchSummary& summary) {
       "\"bytes_per_round\":%llu,\"peak_model_instances\":%lld,"
       "\"model_instance_budget\":%lld,"
       "\"finals_fingerprint\":\"%016llx\"},"
+      "\"byzantine\":{\"clients\":%zu,\"cohort\":%d,\"attackers\":%zu,"
+      "\"attack\":\"%s\",\"tolerance\":%.3f,\"clean_auc\":%.4f,"
+      "\"weighted_average_auc\":%.4f,\"weighted_average_diverged\":%s,"
+      "\"coordinate_median_auc\":%.4f,\"trimmed_mean_auc\":%.4f,"
+      "\"pass\":%s},"
       "\"threads\":%zu,\"peak_rss_mb\":%.1f}\n",
       summary.events_per_sec, summary.thousand_host_s,
       summary.thousand_round_host_ms, summary.thousand_sim_time_s,
@@ -386,6 +541,12 @@ void write_bench_json(const SimBenchSummary& summary) {
       static_cast<long long>(summary.peak_model_instances),
       static_cast<long long>(summary.model_instance_budget),
       static_cast<unsigned long long>(summary.finals_fingerprint),
+      summary.byz_clients, summary.byz_cohort, summary.byz_attackers,
+      summary.byz_attack, summary.byz_tolerance, summary.byz_clean_auc,
+      summary.byz_weighted_average_auc,
+      summary.byz_weighted_average_diverged ? "true" : "false",
+      summary.byz_coordinate_median_auc, summary.byz_trimmed_mean_auc,
+      summary.byz_pass ? "true" : "false",
       ThreadPool::global().size(), summary.rss_mb);
   std::fclose(f);
 }
@@ -395,9 +556,12 @@ int main_impl() {
   summary.events_per_sec = bench_event_loop(1'000'000);
   const int straggler_rc = bench_straggler();
   const int thousand_rc = bench_thousand_clients(&summary);
+  const int byzantine_rc = bench_byzantine(&summary);
   summary.rss_mb = peak_rss_mb();
   write_bench_json(summary);
-  return straggler_rc != 0 ? straggler_rc : thousand_rc;
+  if (straggler_rc != 0) return straggler_rc;
+  if (thousand_rc != 0) return thousand_rc;
+  return byzantine_rc;
 }
 
 }  // namespace

@@ -127,6 +127,7 @@ ClientTrainConfig Experiment::make_client_config() const {
   cfg.learning_rate = config_.hparams.learning_rate;
   cfg.l2_regularization = config_.hparams.l2_regularization;
   cfg.mu = config_.hparams.fedprox_mu;
+  cfg.reset_optimizer = config_.reset_optimizer;
   return cfg;
 }
 
@@ -138,6 +139,7 @@ FLRunOptions Experiment::make_run_options() const {
   opts.comm = config_.comm;
   opts.sim = config_.sim;
   opts.participation = config_.participation;
+  opts.aggregation = config_.aggregation;
   return opts;
 }
 

@@ -72,8 +72,18 @@ struct ExperimentConfig {
   // Per-round cohort selection for the synchronous methods (full
   // participation, uniform sampling, availability-aware skipping).
   ParticipationConfig participation;
-  // AsyncFedAvg knobs (buffer size, staleness discount).
+  // Aggregation-rule selection by AggregationRegistry name (empty =
+  // each algorithm's historical default); "coordinate_median" /
+  // "trimmed_mean" / "norm_clipped_mean" harden any method against
+  // Byzantine clients.
+  AggregationConfig aggregation;
+  // AsyncFedAvg knobs (buffer size, staleness discount, max_in_flight
+  // dispatch gate).
   AsyncConfig async;
+  // Restart local Adam moments from zero at every deployment (the
+  // paper's behavior); false carries each client's moments across
+  // rounds (serialized AdamMoments, see ClientTrainConfig).
+  bool reset_optimizer = true;
   // Optional directory for caching the generated dataset across runs.
   std::string cache_dir;
 };

@@ -1,14 +1,26 @@
 #include "fl/aggregation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace fleda {
 namespace {
 
-// Shared cohort validation: every rule divides by the total weight, so
-// the failure modes are caught once, with a message that points at the
-// participation layer (the usual culprit under client sampling).
+// "client 7" when the caller labeled the input, "cohort update #3"
+// otherwise — validation errors must point at the sender of a poisoned
+// update, not just say "something was NaN".
+std::string who(const AggregationInput& in, std::size_t position) {
+  if (in.client >= 0) return "client " + std::to_string(in.client);
+  return "cohort update #" + std::to_string(position);
+}
+
+// Shared cohort validation: every rule divides by the total weight and
+// folds the parameter values in, so both failure families are caught
+// once — bad *weights* (the participation layer's usual bug) and
+// non-finite *values* (a poisoned or diverged client update, which
+// used to pass silently and corrupt every downstream round).
 double checked_total_weight(const char* rule,
                             const std::vector<AggregationInput>& cohort,
                             bool apply_staleness,
@@ -20,14 +32,25 @@ double checked_total_weight(const char* rule,
         "participation policy sample only offline clients?)");
   }
   double total = 0.0;
-  for (const AggregationInput& in : cohort) {
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    const AggregationInput& in = cohort[i];
     if (in.params == nullptr) {
-      throw std::invalid_argument(std::string(rule) + ": null update");
+      throw std::invalid_argument(std::string(rule) + ": null update from " +
+                                  who(in, i));
     }
     if (!(in.weight >= 0.0)) {  // negatives and NaNs both fail this
       throw std::invalid_argument(
           std::string(rule) + ": weight " + std::to_string(in.weight) +
-          " is negative or non-finite");
+          " from " + who(in, i) + " is negative or non-finite");
+    }
+    // One cheap norm accumulation per entry catches NaN and Inf alike
+    // (either poisons the sum). Guards every rule, including plain
+    // WeightedAverage — the historical hole this check closes.
+    if (!std::isfinite(in.params->squared_l2_norm())) {
+      throw std::invalid_argument(
+          std::string(rule) + ": " + who(in, i) +
+          " sent a non-finite update (NaN/Inf parameter values) — "
+          "refusing to aggregate it into the global model");
     }
     total += apply_staleness ? in.weight * staleness->weight(in.staleness)
                              : in.weight;
@@ -41,6 +64,14 @@ double checked_total_weight(const char* rule,
   return total;
 }
 
+void check_structure(const char* rule, const ModelParameters& reference,
+                     const AggregationInput& in, std::size_t position) {
+  if (!reference.structurally_equal(*in.params)) {
+    throw std::invalid_argument(std::string(rule) + ": structure mismatch at " +
+                                who(in, position));
+  }
+}
+
 }  // namespace
 
 ModelParameters WeightedAverage::aggregate(
@@ -51,10 +82,120 @@ ModelParameters WeightedAverage::aggregate(
   ModelParameters result = *cohort[0].params;
   result.scale(cohort[0].weight / total);
   for (std::size_t i = 1; i < cohort.size(); ++i) {
-    if (!result.structurally_equal(*cohort[i].params)) {
-      throw std::invalid_argument("WeightedAverage: structure mismatch");
-    }
+    check_structure("WeightedAverage", *cohort[0].params, cohort[i], i);
     result.add_scaled(*cohort[i].params, cohort[i].weight / total);
+  }
+  return result;
+}
+
+ModelParameters CoordinateMedian::aggregate(
+    const ModelParameters& /*current*/,
+    const std::vector<AggregationInput>& cohort) const {
+  checked_total_weight("CoordinateMedian", cohort, false, nullptr);
+  for (std::size_t i = 1; i < cohort.size(); ++i) {
+    check_structure("CoordinateMedian", *cohort[0].params, cohort[i], i);
+  }
+  const std::size_t n = cohort.size();
+  ModelParameters result = *cohort[0].params;
+  std::vector<float> column(n);
+  std::vector<const float*> sources(n);
+  for (std::size_t e = 0; e < result.entries().size(); ++e) {
+    Tensor& out = result.mutable_entries()[e].value;
+    float* out_data = out.data();
+    const std::int64_t numel = out.numel();
+    for (std::size_t c = 0; c < n; ++c) {
+      sources[c] = cohort[c].params->entries()[e].value.data();
+    }
+    for (std::int64_t i = 0; i < numel; ++i) {
+      for (std::size_t c = 0; c < n; ++c) column[c] = sources[c][i];
+      // The k-th order statistic is a value of the multiset, so the
+      // result does not depend on the cohort's order — determinism
+      // across participation shuffles comes for free.
+      const std::size_t mid = n / 2;
+      std::nth_element(column.begin(), column.begin() + mid, column.end());
+      if (n % 2 == 1) {
+        out_data[i] = column[mid];
+      } else {
+        const float hi = column[mid];
+        const float lo =
+            *std::max_element(column.begin(), column.begin() + mid);
+        out_data[i] =
+            static_cast<float>((static_cast<double>(lo) + hi) / 2.0);
+      }
+    }
+  }
+  return result;
+}
+
+TrimmedMean::TrimmedMean(double trim_fraction)
+    : trim_fraction_(trim_fraction) {
+  if (!(trim_fraction >= 0.0) || trim_fraction >= 0.5) {
+    throw std::invalid_argument(
+        "TrimmedMean: trim_fraction " + std::to_string(trim_fraction) +
+        " outside [0, 0.5) — trimming half or more from each end leaves "
+        "nothing to average");
+  }
+}
+
+ModelParameters TrimmedMean::aggregate(
+    const ModelParameters& /*current*/,
+    const std::vector<AggregationInput>& cohort) const {
+  checked_total_weight("TrimmedMean", cohort, false, nullptr);
+  for (std::size_t i = 1; i < cohort.size(); ++i) {
+    check_structure("TrimmedMean", *cohort[0].params, cohort[i], i);
+  }
+  const std::size_t n = cohort.size();
+  // trim_fraction < 0.5 guarantees n - 2g >= 1 survivors.
+  const std::size_t g =
+      static_cast<std::size_t>(trim_fraction_ * static_cast<double>(n));
+  ModelParameters result = *cohort[0].params;
+  std::vector<float> column(n);
+  std::vector<const float*> sources(n);
+  for (std::size_t e = 0; e < result.entries().size(); ++e) {
+    Tensor& out = result.mutable_entries()[e].value;
+    float* out_data = out.data();
+    const std::int64_t numel = out.numel();
+    for (std::size_t c = 0; c < n; ++c) {
+      sources[c] = cohort[c].params->entries()[e].value.data();
+    }
+    for (std::int64_t i = 0; i < numel; ++i) {
+      for (std::size_t c = 0; c < n; ++c) column[c] = sources[c][i];
+      std::sort(column.begin(), column.end());
+      double acc = 0.0;
+      for (std::size_t c = g; c < n - g; ++c) acc += column[c];
+      out_data[i] = static_cast<float>(acc / static_cast<double>(n - 2 * g));
+    }
+  }
+  return result;
+}
+
+NormClippedMean::NormClippedMean(double clip_norm) : clip_norm_(clip_norm) {
+  if (!std::isfinite(clip_norm) || clip_norm <= 0.0) {
+    throw std::invalid_argument("NormClippedMean: clip_norm " +
+                                std::to_string(clip_norm) +
+                                " must be finite and > 0");
+  }
+}
+
+ModelParameters NormClippedMean::aggregate(
+    const ModelParameters& current,
+    const std::vector<AggregationInput>& cohort) const {
+  const double total =
+      checked_total_weight("NormClippedMean", cohort, false, nullptr);
+  if (current.empty()) {
+    throw std::invalid_argument(
+        "NormClippedMean: empty `current` — the rule clips each update's "
+        "delta against the server's model, so the caller must pass it "
+        "(not an empty snapshot)");
+  }
+  ModelParameters result = current;
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    check_structure("NormClippedMean", current, cohort[i], i);
+    ModelParameters delta = *cohort[i].params;
+    delta.add_scaled(current, -1.0);
+    const double norm = std::sqrt(delta.squared_l2_norm());
+    const double clip = norm > clip_norm_ ? clip_norm_ / norm : 1.0;
+    result.add_scaled(delta, clip * cohort[i].weight / total);
   }
   return result;
 }
@@ -102,6 +243,89 @@ ModelParameters StalenessDiscountedMix::aggregate(
   ModelParameters next = current;
   next.add_scaled(acc, 1.0);
   return next;
+}
+
+namespace {
+
+void register_builtin_rules(AggregationRegistry& registry) {
+  registry.add("weighted_average", [](const AggregationConfig&) {
+    return std::make_unique<WeightedAverage>();
+  });
+  registry.add("coordinate_median", [](const AggregationConfig&) {
+    return std::make_unique<CoordinateMedian>();
+  });
+  registry.add("trimmed_mean", [](const AggregationConfig& c) {
+    return std::make_unique<TrimmedMean>(c.trim_fraction);
+  });
+  registry.add("norm_clipped_mean", [](const AggregationConfig& c) {
+    return std::make_unique<NormClippedMean>(c.clip_norm);
+  });
+  registry.add("staleness_mix", [](const AggregationConfig& c) {
+    return std::make_unique<StalenessDiscountedMix>(c.staleness,
+                                                    c.server_mix);
+  });
+}
+
+}  // namespace
+
+AggregationRegistry& AggregationRegistry::global() {
+  static AggregationRegistry* registry = [] {
+    auto* r = new AggregationRegistry();
+    register_builtin_rules(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void AggregationRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("AggregationRegistry::add: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument(
+        "AggregationRegistry::add: null factory for '" + name + "'");
+  }
+  if (!factories_.emplace(std::move(name), std::move(factory)).second) {
+    throw std::invalid_argument(
+        "AggregationRegistry::add: duplicate registration");
+  }
+}
+
+bool AggregationRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> AggregationRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::unique_ptr<AggregationRule> AggregationRegistry::create(
+    std::string_view name, const AggregationConfig& config) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("AggregationRegistry: unknown rule '" +
+                                std::string(name) + "' (registered: " + known +
+                                ")");
+  }
+  return it->second(config);
+}
+
+std::unique_ptr<AggregationRule> make_aggregation_rule(
+    const AggregationConfig& config) {
+  if (config.rule.empty()) {
+    throw std::invalid_argument(
+        "make_aggregation_rule: empty rule name — the algorithm default is "
+        "chosen by the caller, not the registry");
+  }
+  return AggregationRegistry::global().create(config.rule, config);
 }
 
 }  // namespace fleda

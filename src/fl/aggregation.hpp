@@ -6,21 +6,46 @@
 // plugs into every algorithm instead of forking one.
 //
 // Two families ship:
-//   WeightedAverage       — W' = sum_k (n_k / n) w_k over the cohort
+//   Averaging rules (folds_into_current() == false) — combine the
+//     cohort's snapshots; `current` is at most a reference point:
+//       WeightedAverage   — W' = sum_k (n_k / n) w_k over the cohort
 //                           (FedAvg/FedProx semantics; ignores
 //                           `current` and staleness).
-//   StalenessDiscountedMix — W' = W + eta * sum_i u_i d_i / sum_i u_i,
-//                           u_i = n_i * s(tau_i), over buffered DELTAS
+//       CoordinateMedian  — entrywise median of the cohort (rank-based,
+//                           so sample counts are validated but do not
+//                           weight the result). Robust to < 50%
+//                           arbitrarily-corrupted clients.
+//       TrimmedMean       — entrywise mean after dropping the
+//                           floor(trim_fraction * n) largest and
+//                           smallest values per coordinate.
+//       NormClippedMean   — each update's delta against `current` is
+//                           clipped to clip_norm in L2 before the
+//                           weighted average; bounds any single
+//                           client's pull on the global model.
+//   Delta/mixing rules (folds_into_current() == true) — the cohort
+//     entries are DELTAS and aggregate() returns `current` with them
+//     folded in:
+//       StalenessDiscountedMix — W' = W + eta * sum_i u_i d_i /
+//                           sum_i u_i, u_i = n_i * s(tau_i)
 //                           (AsyncFedAvg/FedBuff semantics).
 //
-// Every rule refuses an empty cohort or a zero total weight with a
-// descriptive error — under partial participation an all-offline
-// sampled cohort must fail loudly, not divide by zero.
+// Every rule refuses an empty cohort, a zero total weight, or a
+// non-finite update with a descriptive error — under partial
+// participation an all-offline sampled cohort must fail loudly, and a
+// single NaN/Inf client update must never reach the global model.
+//
+// Rules are constructible by name through AggregationRegistry (the
+// aggregation-layer mirror of AlgorithmRegistry), parameterized by the
+// declarative AggregationConfig that FLRunOptions/ExperimentConfig
+// carry — so any algorithm swaps its rule without a code change.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fl/parameters.hpp"
@@ -34,6 +59,10 @@ struct AggregationInput {
   const ModelParameters* params = nullptr;
   double weight = 0.0;  // n_k, the client's sample count
   int staleness = 0;    // model versions behind the server; sync: 0
+  // Federation-level client index, used only to name the culprit in
+  // validation errors (a poisoned update should point at its sender).
+  // Negative = unknown; errors then name the cohort position.
+  int client = -1;
 };
 
 class AggregationRule {
@@ -42,10 +71,17 @@ class AggregationRule {
 
   virtual std::string name() const = 0;
 
+  // Whether aggregate() folds the cohort (as deltas) into `current`
+  // (mixing rules) rather than combining the cohort's snapshots alone
+  // (averaging rules). Event-driven servers use this to decide how to
+  // apply a rule to their buffered deltas.
+  virtual bool folds_into_current() const { return false; }
+
   // Combines the cohort into the next model. `current` is the model
-  // being replaced; averaging rules ignore it, delta rules fold into
-  // it. Throws std::invalid_argument on an empty cohort, zero/non-
-  // finite total weight, or structure mismatch.
+  // being replaced; plain averaging rules ignore it, clipping rules use
+  // it as the delta reference, mixing rules fold into it. Throws
+  // std::invalid_argument on an empty cohort, zero/non-finite total
+  // weight, a non-finite update, or structure mismatch.
   virtual ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const = 0;
@@ -58,6 +94,58 @@ class WeightedAverage : public AggregationRule {
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
+};
+
+// Entrywise (coordinate-wise) median over the cohort. Rank-based:
+// sample-count weights are validated but do not influence the result,
+// which is what makes a < 50% fraction of arbitrarily-corrupted
+// clients unable to move any coordinate outside the honest range.
+class CoordinateMedian : public AggregationRule {
+ public:
+  std::string name() const override { return "coordinate_median"; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+};
+
+// Entrywise trimmed mean: per coordinate, the g = floor(trim_fraction
+// * n) smallest and largest values are dropped and the surviving
+// n - 2g values averaged (unweighted, like the median — robustness
+// comes from the rank filter, not the sample counts). Tolerates up to
+// g corrupted clients per coordinate.
+class TrimmedMean : public AggregationRule {
+ public:
+  // trim_fraction in [0, 0.5); 0 recovers the unweighted mean.
+  explicit TrimmedMean(double trim_fraction);
+
+  std::string name() const override { return "trimmed_mean"; }
+  double trim_fraction() const { return trim_fraction_; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+
+ private:
+  double trim_fraction_;
+};
+
+// Weighted average of delta-clipped updates: each cohort member's
+// delta against `current` is scaled down to at most clip_norm in L2
+// before the sample-count weighted average, so no single client —
+// however scaled its update — can pull the global model further than
+// clip_norm in one round. Requires a non-empty `current` (the server's
+// model) as the clipping reference.
+class NormClippedMean : public AggregationRule {
+ public:
+  explicit NormClippedMean(double clip_norm);  // must be finite and > 0
+
+  std::string name() const override { return "norm_clipped_mean"; }
+  double clip_norm() const { return clip_norm_; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+
+ private:
+  double clip_norm_;
 };
 
 // Staleness discount s(tau) applied to buffered async updates.
@@ -84,6 +172,7 @@ class StalenessDiscountedMix : public AggregationRule {
   StalenessDiscountedMix(StalenessPolicy staleness, double server_mix);
 
   std::string name() const override { return "staleness_mix"; }
+  bool folds_into_current() const override { return true; }
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
@@ -92,5 +181,63 @@ class StalenessDiscountedMix : public AggregationRule {
   StalenessPolicy staleness_;
   double server_mix_;
 };
+
+// Declarative rule selection carried by FLRunOptions /
+// ExperimentConfig: a registry key plus the knobs the built-in
+// factories consult (bundled so registering a new rule never changes
+// the factory signature).
+struct AggregationConfig {
+  // AggregationRegistry key. Empty = the algorithm's historical
+  // default: WeightedAverage for the synchronous round loops,
+  // StalenessDiscountedMix (from AsyncConfig's knobs) for AsyncFedAvg.
+  // Synchronous loops reject delta-mixing rules ("staleness_mix") —
+  // their cohorts are full parameters, not deltas.
+  std::string rule;
+  double trim_fraction = 0.1;  // "trimmed_mean"
+  double clip_norm = 10.0;     // "norm_clipped_mean"
+  // Knobs for an EXPLICIT rule = "staleness_mix". They intentionally
+  // take precedence over AsyncConfig's staleness/server_mix fields,
+  // which apply only to the empty-rule default — naming the rule here
+  // means configuring it here.
+  StalenessPolicy staleness;
+  double server_mix = 0.5;
+};
+
+// String-keyed factory map over aggregation rules, mirroring
+// AlgorithmRegistry: downstream code registers robust-aggregation
+// variants without touching src/, and configs select them by name.
+class AggregationRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<AggregationRule>(const AggregationConfig&)>;
+
+  // The process-wide registry, with the built-in rules
+  // ("weighted_average", "coordinate_median", "trimmed_mean",
+  // "norm_clipped_mean", "staleness_mix") registered on first use.
+  static AggregationRegistry& global();
+
+  // Registers `factory` under `name`. Throws std::invalid_argument on
+  // an empty name or a duplicate registration.
+  void add(std::string name, Factory factory);
+
+  bool contains(std::string_view name) const;
+  // All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  // Instantiates the rule registered under `name`. Throws
+  // std::invalid_argument on an unknown name, listing what is
+  // registered.
+  std::unique_ptr<AggregationRule> create(
+      std::string_view name, const AggregationConfig& config = {}) const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+// The rule `config` names, from the global registry. Throws on an
+// empty name — "use the algorithm default" is the caller's decision,
+// not the registry's.
+std::unique_ptr<AggregationRule> make_aggregation_rule(
+    const AggregationConfig& config);
 
 }  // namespace fleda

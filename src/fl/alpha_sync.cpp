@@ -1,6 +1,8 @@
 #include "fl/alpha_sync.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace fleda {
 
@@ -15,6 +17,12 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
   const ModelParameters initial = initial_model_parameters(factory, rng);
 
   const std::vector<double> weights = Server::client_weights(clients);
+  // With a configured rule, each member's (1 - alpha) share comes from
+  // the rule applied to the OTHER cohort members' updates (a robust
+  // consensus of the peers) instead of their plain weighted average.
+  // Empty = the historical inline mixing, bit-for-bit.
+  const std::unique_ptr<AggregationRule> rule =
+      opts.aggregation.rule.empty() ? nullptr : sync_aggregation_rule(opts);
 
   // Per-client deployed models W_k; all start from the common init.
   std::vector<ModelParameters> deployed(clients.size(), initial);
@@ -27,6 +35,18 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     for (std::size_t k : cohort) deployed_ptrs.push_back(&deployed[k]);
     std::vector<ModelParameters> updates =
         cohort_local_updates(clients, cohort, deployed_ptrs, opts.client, sim);
+
+    // The mixing below bypasses the AggregationRule guards, so screen
+    // the cohort's updates for non-finite values here — a poisoned
+    // update must fail loudly in every algorithm.
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      if (!std::isfinite(updates[i].squared_l2_norm())) {
+        throw std::invalid_argument(
+            "AlphaPortionSync: client " + std::to_string(cohort[i]) +
+            " sent a non-finite update (NaN/Inf parameter values) — "
+            "refusing to mix it into the cohort's models");
+      }
+    }
 
     // Customized aggregation per cohort member: its own update gets a
     // fixed alpha share, the *other cohort members* split (1 - alpha)
@@ -47,10 +67,25 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
       }
       ModelParameters m = updates[i];
       m.scale(alpha_);
-      for (std::size_t j = 0; j < cohort.size(); ++j) {
-        if (j == i) continue;
-        const double share = (1.0 - alpha_) * weights[cohort[j]] / others_total;
-        m.add_scaled(updates[j], share);
+      if (rule != nullptr) {
+        // Robust peer consensus: the configured rule over the other
+        // members' updates, anchored at this member's previous model
+        // (the delta reference for clipping rules).
+        std::vector<AggregationInput> others;
+        others.reserve(cohort.size() - 1);
+        for (std::size_t j = 0; j < cohort.size(); ++j) {
+          if (j == i) continue;
+          others.push_back({&updates[j], weights[cohort[j]], 0,
+                            static_cast<int>(cohort[j])});
+        }
+        m.add_scaled(rule->aggregate(deployed[k], others), 1.0 - alpha_);
+      } else {
+        for (std::size_t j = 0; j < cohort.size(); ++j) {
+          if (j == i) continue;
+          const double share =
+              (1.0 - alpha_) * weights[cohort[j]] / others_total;
+          m.add_scaled(updates[j], share);
+        }
       }
       mixed[i] = std::move(m);
     }

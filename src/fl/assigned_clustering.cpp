@@ -29,6 +29,7 @@ std::vector<ModelParameters> AssignedClustering::run_rounds(
   }
 
   const std::vector<double> weights = Server::client_weights(clients);
+  const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
   for (int r = 0; r < opts.rounds; ++r) {
     const std::vector<std::size_t> cohort =
         select_cohort(participation, r, clients.size(), opts, sim);
@@ -41,18 +42,20 @@ std::vector<ModelParameters> AssignedClustering::run_rounds(
     std::vector<ModelParameters> updates =
         cohort_local_updates(clients, cohort, deployed, opts.client, sim);
 
-    // Per-cluster aggregation over this round's sampled members; a
-    // cluster with nobody sampled keeps its model.
+    // Per-cluster aggregation over this round's sampled members,
+    // through the configured rule; a cluster with nobody sampled keeps
+    // its model.
     for (int c = 0; c < num_clusters; ++c) {
       std::vector<AggregationInput> members;
       for (std::size_t i = 0; i < cohort.size(); ++i) {
         if (assignment_[cohort[i]] == c) {
-          members.push_back({&updates[i], weights[cohort[i]], 0});
+          members.push_back({&updates[i], weights[cohort[i]], 0,
+                             static_cast<int>(cohort[i])});
         }
       }
       if (members.empty()) continue;
-      cluster_models[static_cast<std::size_t>(c)] =
-          WeightedAverage().aggregate(ModelParameters{}, members);
+      cluster_models[static_cast<std::size_t>(c)] = rule->aggregate(
+          cluster_models[static_cast<std::size_t>(c)], members);
     }
 
     if (opts.on_round) {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace fleda {
 namespace {
@@ -12,6 +14,7 @@ struct Buffered {
   ModelParameters delta;  // server view of (update - dispatched model)
   double weight = 0.0;    // n_k
   int dispatched_version = 0;
+  int client = -1;  // sender, for aggregation-guard error messages
 };
 
 }  // namespace
@@ -56,24 +59,58 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   SimEngine& engine = sim.engine();
   Channel& channel = sim.channel();
   const std::vector<double> weights = Server::client_weights(clients);
-  const StalenessDiscountedMix rule(staleness_policy(config_),
-                                    config_.server_mix);
+  const StalenessPolicy staleness = staleness_policy(config_);
+  // The configured aggregation rule; the empty default keeps the
+  // historical AsyncConfig-derived StalenessDiscountedMix. NOTE: an
+  // explicit rule name — including "staleness_mix" — is built from
+  // AggregationConfig's own knobs (staleness / server_mix there), not
+  // from this AsyncConfig; naming the rule means configuring it in
+  // AggregationConfig.
+  const std::unique_ptr<AggregationRule> rule =
+      opts.aggregation.rule.empty()
+          ? std::make_unique<StalenessDiscountedMix>(staleness,
+                                                     config_.server_mix)
+          : make_aggregation_rule(opts.aggregation);
 
   int version = 0;  // completed aggregations, the async "round" counter
+  // Per-client upload counter, the Byzantine noise-stream nonce: a
+  // fast client can upload twice at one model version, and each send
+  // must draw fresh noise. Event callbacks run serially on the engine
+  // thread, so the counters are deterministic.
+  std::vector<std::uint64_t> attack_sends(clients.size(), 0);
   std::vector<Buffered> buffer;
   buffer.reserve(static_cast<std::size_t>(config_.buffer_size));
   double last_aggregate_time = 0.0;
 
   auto aggregate = [&]() {
-    // global += eta * sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i),
-    // via the pluggable StalenessDiscountedMix aggregation rule.
+    // Mixing rules (the StalenessDiscountedMix default) fold the
+    // buffered deltas into the model themselves: global += eta *
+    // sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i). An averaging
+    // rule (coordinate_median, trimmed_mean, norm_clipped_mean, ...)
+    // instead combines the deltas around a zero anchor into one robust
+    // consensus delta, which the server folds in with its mixing rate
+    // — FedBuff's robust-aggregation composition. The staleness
+    // discount is applied through the weights, which only the
+    // weight-sensitive rules (weighted_average, norm_clipped_mean)
+    // consume; the rank-based rules ignore weights by design, so under
+    // them stale deltas vote with full strength.
     std::vector<AggregationInput> cohort;
     cohort.reserve(buffer.size());
     for (const Buffered& b : buffer) {
-      cohort.push_back(
-          {&b.delta, b.weight, version - b.dispatched_version});
+      cohort.push_back({&b.delta, b.weight, version - b.dispatched_version,
+                        b.client});
     }
-    global = rule.aggregate(global, cohort);
+    if (rule->folds_into_current()) {
+      global = rule->aggregate(global, cohort);
+    } else {
+      for (AggregationInput& in : cohort) {
+        in.weight *= staleness.weight(in.staleness);
+      }
+      ModelParameters zero = global;
+      zero.scale(0.0);
+      const ModelParameters step = rule->aggregate(zero, cohort);
+      global.add_scaled(step, config_.server_mix);
+    }
     buffer.clear();
     ++version;
     engine.note(SimEventKind::kAggregate, /*client=*/-1, version - 1);
@@ -152,9 +189,16 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                 if (version >= opts.rounds) return;
                 // Train now, on what this client decoded at dispatch;
                 // the client's rng advances in event order, which is
-                // deterministic for a fixed schedule.
+                // deterministic for a fixed schedule. A Byzantine
+                // client corrupts its upload here (nonce = the
+                // client's own send counter).
                 ModelParameters update = clients[k].local_update(*received,
                                                                  cfg);
+                const AttackSpec& attack = engine.profile(k).attack;
+                if (attack.kind != AttackKind::kNone) {
+                  update = apply_attack(attack, std::move(update), *received,
+                                        k, attack_sends[k]++);
+                }
                 std::uint64_t up_bytes = 0;
                 ModelParameters server_view =
                     channel.send_up(k, update, received.get(), &up_bytes);
@@ -179,8 +223,9 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                     dispatched_version,
                     [&, k, dispatched_version, delta = std::move(delta)] {
                       if (version >= opts.rounds) return;
-                      buffer.push_back(
-                          Buffered{delta, weights[k], dispatched_version});
+                      buffer.push_back(Buffered{delta, weights[k],
+                                                dispatched_version,
+                                                static_cast<int>(k)});
                       if (static_cast<int>(buffer.size()) >=
                           config_.buffer_size) {
                         aggregate();

@@ -50,9 +50,9 @@ ModelParameters Client::train_steps(const ModelParameters& start, int steps,
                        static_cast<std::size_t>(cfg.batch_size),
                        rng_.fork(0x6261746368ull));
 
-  // Anchor values aligned with the model's parameter order (buffers
-  // are not part of the proximal term).
-  std::vector<const Tensor*> anchor_values;
+  // Validate the anchor against the model's parameter order up front
+  // (buffers are not part of the proximal term; the mu-gradient loop
+  // below walks anchor->entries() directly).
   if (anchor != nullptr) {
     const auto params = model.parameters();
     std::size_t i = 0;

@@ -13,13 +13,15 @@ std::vector<ModelParameters> FedAvg::run_rounds(
   cfg.mu = 0.0;  // FedAvg: no proximal term
 
   const std::vector<double> weights = Server::client_weights(clients);
+  const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
   for (int r = 0; r < opts.rounds; ++r) {
     const std::vector<std::size_t> cohort =
         select_cohort(participation, r, clients.size(), opts, sim);
     std::vector<const ModelParameters*> deployed(cohort.size(), &global);
     std::vector<ModelParameters> updates =
         cohort_local_updates(clients, cohort, deployed, cfg, sim);
-    global = Server::aggregate(updates, Server::cohort_weights(weights, cohort));
+    global = Server::aggregate(*rule, global, updates,
+                               Server::cohort_weights(weights, cohort), cohort);
     if (opts.on_round) {
       opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));
     }

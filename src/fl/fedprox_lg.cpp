@@ -15,6 +15,7 @@ std::vector<ModelParameters> FedProxLG::run_rounds(
   auto is_global = [this](const std::string& n) { return !is_local_(n); };
 
   const std::vector<double> weights = Server::client_weights(clients);
+  const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
   for (int r = 0; r < opts.rounds; ++r) {
     const std::vector<std::size_t> cohort =
         select_cohort(participation, r, clients.size(), opts, sim);
@@ -33,8 +34,9 @@ std::vector<ModelParameters> FedProxLG::run_rounds(
 
     // Server aggregates only the cohort's global parts; local parts
     // stay put on every client.
-    ModelParameters aggregate =
-        Server::aggregate(updates, Server::cohort_weights(weights, cohort));
+    ModelParameters aggregate = Server::aggregate(
+        *rule, global, updates, Server::cohort_weights(weights, cohort),
+        cohort);
     global = global.merged_with(aggregate, is_global);
     for (std::size_t i = 0; i < cohort.size(); ++i) {
       client_state[cohort[i]] = std::move(updates[i]);

@@ -1,6 +1,7 @@
 #include "fl/ifca.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
@@ -22,6 +23,7 @@ std::vector<ModelParameters> IFCA::run_rounds(
   }
 
   const std::vector<double> weights = Server::client_weights(clients);
+  const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
   assignment_.assign(clients.size(), 0);
   const std::size_t C = static_cast<std::size_t>(num_clusters_);
 
@@ -83,10 +85,19 @@ std::vector<ModelParameters> IFCA::run_rounds(
       deployed.push_back(
           waves[static_cast<std::size_t>(assignment_[cohort[i]])][i].get());
     }
+    // Byzantine members corrupt their upload (nonce = completed
+    // channel rounds, as in cohort_local_updates).
+    const std::uint64_t round_nonce = sim.channel().stats().rounds.size();
     std::vector<ModelParameters> updates(cohort.size());
     parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        updates[i] = clients[cohort[i]].local_update(*deployed[i], opts.client);
+        const std::size_t k = cohort[i];
+        updates[i] = clients[k].local_update(*deployed[i], opts.client);
+        const AttackSpec& attack = sim.engine().profile(k).attack;
+        if (attack.kind != AttackKind::kNone) {
+          updates[i] = apply_attack(attack, std::move(updates[i]),
+                                    *deployed[i], k, round_nonce);
+        }
       }
     });
 
@@ -96,17 +107,20 @@ std::vector<ModelParameters> IFCA::run_rounds(
     updates = sim.channel().collect(updates, deployed, cohort);
     sim.finish_sync_round(opts.client.steps, cohort);
 
-    // 5) Per-cluster aggregation over this round's members.
+    // 5) Per-cluster aggregation over this round's members, through
+    // the configured rule (the cluster's model is the delta reference
+    // for clipping rules).
     for (int c = 0; c < num_clusters_; ++c) {
       std::vector<AggregationInput> members;
       for (std::size_t i = 0; i < cohort.size(); ++i) {
         if (assignment_[cohort[i]] == c) {
-          members.push_back({&updates[i], weights[cohort[i]], 0});
+          members.push_back({&updates[i], weights[cohort[i]], 0,
+                             static_cast<int>(cohort[i])});
         }
       }
       if (members.empty()) continue;  // dead cluster keeps its model
-      cluster_models[static_cast<std::size_t>(c)] =
-          WeightedAverage().aggregate(ModelParameters{}, members);
+      cluster_models[static_cast<std::size_t>(c)] = rule->aggregate(
+          cluster_models[static_cast<std::size_t>(c)], members);
     }
 
     if (opts.on_round) {

@@ -115,6 +115,18 @@ void ModelParameters::scale(double alpha) {
   for (auto& e : entries_) scale_inplace(e.value, static_cast<float>(alpha));
 }
 
+double ModelParameters::squared_l2_norm() const {
+  double acc = 0.0;
+  for (const ParameterEntry& e : entries_) {
+    const float* d = e.value.data();
+    const std::int64_t n = e.value.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(d[i]) * d[i];
+    }
+  }
+  return acc;
+}
+
 double ModelParameters::squared_distance(const ModelParameters& other) const {
   if (!structurally_equal(other)) {
     throw std::invalid_argument("squared_distance: structure mismatch");

@@ -49,6 +49,11 @@ class ModelParameters {
   // the FedProx proximal distance.
   double squared_distance(const ModelParameters& other) const;
 
+  // ||this||^2 over ALL entries (buffers included). Doubles as the
+  // aggregation layer's finiteness probe: the sum is NaN/Inf iff some
+  // value is, so one accumulation pass screens a whole update.
+  double squared_l2_norm() const;
+
   // Merge: entries whose name satisfies `take_other` come from
   // `other`, the rest from *this. Used by FedProx-LG to combine the
   // aggregated global part with each client's private local part.

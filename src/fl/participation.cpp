@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace fleda {
 
@@ -14,7 +15,17 @@ std::vector<std::size_t> FullParticipation::select(
 }
 
 UniformSample::UniformSample(int sample_size, std::uint64_t seed)
-    : sample_size_(sample_size), rng_(seed) {}
+    : sample_size_(sample_size), rng_(seed) {
+  // Historically a non-positive C silently degenerated to full
+  // participation — a config typo (C = 0) then ran a full-cost round
+  // per "sampled" round without a hint. Only >= num_clients is the
+  // documented full-participation degeneration.
+  if (sample_size <= 0) {
+    throw std::invalid_argument(
+        "UniformSample: sample_size " + std::to_string(sample_size) +
+        " must be positive (use FullParticipation to run every client)");
+  }
+}
 
 std::string UniformSample::name() const {
   return "uniform_sample(" + std::to_string(sample_size_) + ")";
@@ -24,9 +35,8 @@ std::vector<std::size_t> UniformSample::select(
     const ParticipationContext& ctx) {
   std::vector<std::size_t> all(ctx.num_clients);
   std::iota(all.begin(), all.end(), std::size_t{0});
-  if (sample_size_ <= 0 ||
-      static_cast<std::size_t>(sample_size_) >= ctx.num_clients) {
-    return all;
+  if (static_cast<std::size_t>(sample_size_) >= ctx.num_clients) {
+    return all;  // C >= K: documented full-participation degeneration
   }
   const std::size_t c = static_cast<std::size_t>(sample_size_);
   // Partial Fisher-Yates: the first c entries become the sample. The

@@ -58,11 +58,14 @@ class FullParticipation : public ParticipationPolicy {
 };
 
 // C clients drawn uniformly without replacement each round (FedAvg's
-// classic client sampling). sample_size <= 0 or >= K degenerates to
-// full participation. Deterministic for a fixed seed: the policy's own
-// Rng advances once per round, on the caller's thread.
+// classic client sampling). sample_size >= K degenerates to full
+// participation; sample_size <= 0 is rejected at construction (a
+// config typo must not silently run full-cost rounds). Deterministic
+// for a fixed seed: the policy's own Rng advances once per round, on
+// the caller's thread.
 class UniformSample : public ParticipationPolicy {
  public:
+  // Throws std::invalid_argument when sample_size <= 0.
   explicit UniformSample(int sample_size, std::uint64_t seed = 0x5A3D1EULL);
 
   std::string name() const override;
@@ -102,7 +105,9 @@ std::string to_string(ParticipationKind kind);
 
 struct ParticipationConfig {
   ParticipationKind kind = ParticipationKind::kFull;
-  // C for kUniformSample / kAvailabilityAware; <= 0 means all clients.
+  // C for kUniformSample (must be positive — UniformSample rejects
+  // non-positive sizes) / kAvailabilityAware (<= 0 = filter the full
+  // client set, no sampler).
   int sample_size = 0;
   // Seed of the cohort-sampling stream (independent of model init).
   std::uint64_t seed = 0x5A3D1EULL;

@@ -37,6 +37,30 @@ ModelParameters Server::aggregate(const std::vector<ModelParameters>& updates,
   return WeightedAverage().aggregate(ModelParameters{}, cohort);
 }
 
+ModelParameters Server::aggregate(const AggregationRule& rule,
+                                  const ModelParameters& current,
+                                  const std::vector<ModelParameters>& updates,
+                                  const std::vector<double>& weights,
+                                  const std::vector<std::size_t>& cohort) {
+  if (updates.size() != weights.size()) {
+    throw std::invalid_argument(
+        "Server::aggregate: " + std::to_string(updates.size()) +
+        " updates but " + std::to_string(weights.size()) + " weights");
+  }
+  if (!cohort.empty() && cohort.size() != updates.size()) {
+    throw std::invalid_argument(
+        "Server::aggregate: " + std::to_string(updates.size()) +
+        " updates but " + std::to_string(cohort.size()) + " cohort indices");
+  }
+  std::vector<AggregationInput> inputs;
+  inputs.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const int client = cohort.empty() ? -1 : static_cast<int>(cohort[i]);
+    inputs.push_back({&updates[i], weights[i], 0, client});
+  }
+  return rule.aggregate(current, inputs);
+}
+
 ModelParameters Server::aggregate_subset(
     const std::vector<ModelParameters>& updates,
     const std::vector<double>& weights,

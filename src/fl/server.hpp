@@ -36,6 +36,18 @@ class Server {
   static ModelParameters aggregate(const std::vector<ModelParameters>& updates,
                                    const std::vector<double>& weights);
 
+  // Rule-threaded form: aggregates the cohort-indexed updates under
+  // `rule`, with `current` as the model being replaced (the delta
+  // reference for clipping rules; plain averages ignore it). `cohort`
+  // carries the true federation-level client indices so validation
+  // errors name the poisoning client — pass an empty vector when the
+  // caller has no cohort identity (errors then name positions).
+  static ModelParameters aggregate(const AggregationRule& rule,
+                                   const ModelParameters& current,
+                                   const std::vector<ModelParameters>& updates,
+                                   const std::vector<double>& weights,
+                                   const std::vector<std::size_t>& cohort);
+
   // Aggregation over a subset (e.g. one cluster's members). `members`
   // are indices into updates/weights.
   static ModelParameters aggregate_subset(

@@ -1,6 +1,7 @@
 #include "fl/trainer.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
@@ -28,6 +29,27 @@ std::vector<ModelParameters> FederatedAlgorithm::run_rounds_of(
     const ModelFactory& factory, const FLRunOptions& opts,
     FederationSim& sim, ParticipationPolicy& participation) {
   return algo.run_rounds(clients, factory, opts, sim, participation);
+}
+
+std::unique_ptr<AggregationRule> FederatedAlgorithm::sync_aggregation_rule(
+    const FLRunOptions& opts) {
+  if (opts.aggregation.rule.empty()) {
+    return std::make_unique<WeightedAverage>();
+  }
+  std::unique_ptr<AggregationRule> rule =
+      make_aggregation_rule(opts.aggregation);
+  if (rule->folds_into_current()) {
+    // A mixing rule treats its cohort as deltas; fed the sync
+    // barrier's full-parameter updates it would compound the model
+    // geometrically (global += mix * avg(full models)) and "diverge"
+    // with no attacker in sight.
+    throw std::invalid_argument(
+        "aggregation rule '" + rule->name() +
+        "' folds deltas into the current model and cannot aggregate a "
+        "synchronous round's full-parameter updates (use it with "
+        "AsyncFedAvg, or pick an averaging rule)");
+  }
+  return rule;
 }
 
 std::vector<std::size_t> FederatedAlgorithm::select_cohort(
@@ -98,10 +120,21 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   // server-side snapshot — a lossy codec's error feeds into training.
   const std::vector<std::shared_ptr<const ModelParameters>> received =
       channel.broadcast(deployed, cohort);
+  // Byzantine behaviors fire between training and upload: a
+  // compromised client trains honestly (its rng stream is unchanged)
+  // and corrupts what it sends. Completed channel rounds disambiguate
+  // repeated attacks by the same client (the noise-stream nonce).
+  const std::uint64_t round_nonce = channel.stats().rounds.size();
   std::vector<ModelParameters> updates(cohort.size());
   parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      updates[i] = clients[cohort[i]].local_update(*received[i], cfg);
+      const std::size_t k = cohort[i];
+      updates[i] = clients[k].local_update(*received[i], cfg);
+      const AttackSpec& attack = sim.engine().profile(k).attack;
+      if (attack.kind != AttackKind::kNone) {
+        updates[i] = apply_attack(attack, std::move(updates[i]), *received[i],
+                                  k, round_nonce);
+      }
     }
   });
   // Uplink: the decoded deployment is the shared reference for delta

@@ -35,6 +35,13 @@ struct FLRunOptions {
   // event-driven asynchronous algorithms ignore this: every client
   // runs its own loop and offline clients simply rejoin later.
   ParticipationConfig participation;
+  // How the cohort's updates become the next model, selected by
+  // AggregationRegistry name. Empty rule = the algorithm's historical
+  // default (WeightedAverage for sync loops, AsyncConfig-derived
+  // StalenessDiscountedMix for AsyncFedAvg); a robust rule
+  // ("coordinate_median", "trimmed_mean", "norm_clipped_mean") slots
+  // into any algorithm by name.
+  AggregationConfig aggregation;
   // Parameter-exchange transport: every deployment/upload of the round
   // loop goes through a Channel built from this config. The default
   // (Fp32 both ways) is lossless and bit-identical to a direct
@@ -92,6 +99,12 @@ class FederatedAlgorithm {
       FederatedAlgorithm& algo, std::vector<Client>& clients,
       const ModelFactory& factory, const FLRunOptions& opts,
       FederationSim& sim, ParticipationPolicy& participation);
+
+  // The rule opts.aggregation names, or the synchronous loops'
+  // historical WeightedAverage default when no rule is named. Round
+  // loops create one per run and aggregate through it.
+  static std::unique_ptr<AggregationRule> sync_aggregation_rule(
+      const FLRunOptions& opts);
 
   // The round's cohort from `participation`, evaluated at the current
   // virtual-clock time (one policy call per round, on this thread).

@@ -2,10 +2,79 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "fl/parameters.hpp"
 #include "util/rng.hpp"
 
 namespace fleda {
+
+const char* to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "none";
+    case AttackKind::kSignFlip:
+      return "sign_flip";
+    case AttackKind::kScaled:
+      return "scaled";
+    case AttackKind::kGaussianNoise:
+      return "gaussian_noise";
+  }
+  return "?";
+}
+
+namespace {
+
+void validate_attack(const AttackSpec& spec) {
+  if (!std::isfinite(spec.scale)) {
+    throw std::invalid_argument("AttackSpec: scale must be finite");
+  }
+  if (!std::isfinite(spec.noise_stddev) || spec.noise_stddev < 0.0) {
+    throw std::invalid_argument(
+        "AttackSpec: noise_stddev must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
+                             const ModelParameters& reference,
+                             std::size_t client, std::uint64_t nonce) {
+  if (spec.kind == AttackKind::kNone) return update;
+  validate_attack(spec);
+  switch (spec.kind) {
+    case AttackKind::kSignFlip:
+    case AttackKind::kScaled: {
+      // delta = update - reference, transformed and re-anchored.
+      ModelParameters delta = std::move(update);
+      delta.add_scaled(reference, -1.0);
+      const double factor =
+          spec.kind == AttackKind::kSignFlip ? -spec.scale : spec.scale;
+      ModelParameters attacked = reference;
+      attacked.add_scaled(delta, factor);
+      return attacked;
+    }
+    case AttackKind::kGaussianNoise: {
+      // Own sub-stream per (seed, client, nonce): applications from
+      // different clients or rounds never share draws, so the attack
+      // replays bit-identically whatever the host thread count.
+      Rng root(spec.seed);
+      Rng per_client = root.fork(client);
+      Rng stream = per_client.fork(nonce);
+      for (ParameterEntry& e : update.mutable_entries()) {
+        float* d = e.value.data();
+        const std::int64_t n = e.value.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          d[i] += static_cast<float>(stream.normal(0.0, spec.noise_stddev));
+        }
+      }
+      return update;
+    }
+    case AttackKind::kNone:
+      break;
+  }
+  return update;
+}
 
 bool ClientProfile::is_online(double t) const {
   for (const OfflineWindow& w : offline) {
@@ -77,6 +146,29 @@ SimConfig SimConfig::heterogeneous(std::size_t n, std::uint64_t seed,
         defaults.downlink_bytes_per_sec * down_scale;
   }
   return config;
+}
+
+SimConfig SimConfig::with_attackers(std::size_t n, std::size_t num_attackers,
+                                    const AttackSpec& spec) {
+  SimConfig config = uniform(n);
+  add_attackers(config, num_attackers, spec);
+  return config;
+}
+
+void add_attackers(SimConfig& config, std::size_t num_attackers,
+                   const AttackSpec& spec) {
+  validate_attack(spec);
+  const std::size_t n = config.profiles.size();
+  if (num_attackers > n) {
+    throw std::invalid_argument("add_attackers: more attackers than clients");
+  }
+  if (num_attackers == 0) return;
+  // Evenly spread over [0, n): attacker a sits at floor(a * n / f), so
+  // uniform samplers and modular cluster assignments both see the
+  // configured fraction instead of one contiguous poisoned block.
+  for (std::size_t a = 0; a < num_attackers; ++a) {
+    config.profiles[a * n / num_attackers].attack = spec;
+  }
 }
 
 void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,

@@ -2,11 +2,13 @@
 // Each client has a compute speed multiplier (how much longer than the
 // reference device one local step takes), optional per-client link
 // overrides (0 / negative = inherit the channel's CommConfig rates),
-// and a list of offline windows during which it neither starts
-// transfers nor delivers updates. SimConfig bundles the per-client
-// profiles with the global compute-time model and provides the stock
-// scenarios used by tests and benches: uniform, single straggler,
-// seeded heterogeneous, periodic dropout.
+// a list of offline windows during which it neither starts transfers
+// nor delivers updates, and an optional Byzantine behavior (AttackSpec)
+// applied to every update the client sends before it enters the
+// Channel. SimConfig bundles the per-client profiles with the global
+// compute-time model and provides the stock scenarios used by tests
+// and benches: uniform, single straggler, seeded heterogeneous,
+// periodic dropout, and Byzantine attacker cohorts.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +18,52 @@
 
 namespace fleda {
 
+class ModelParameters;
+
 struct OfflineWindow {
   double begin = 0.0;
   double end = 0.0;  // half-open [begin, end)
 };
+
+// Byzantine client behaviors: what a compromised client does to its
+// trained update before uploading it. All attacks are expressed on the
+// DELTA between the trained update and the model the client received
+// this round, which makes them meaningful for both the synchronous
+// barrier (full-parameter uploads) and the async delta buffers.
+enum class AttackKind : std::uint8_t {
+  kNone = 0,
+  // delta <- -scale * delta: push the global model backwards along the
+  // client's own honest gradient direction.
+  kSignFlip = 1,
+  // delta <- scale * delta: an otherwise-honest update magnified to
+  // dominate the average.
+  kScaled = 2,
+  // update <- update + N(0, noise_stddev^2) per coordinate, from a
+  // deterministic per-(seed, client, nonce) stream.
+  kGaussianNoise = 3,
+};
+
+const char* to_string(AttackKind kind);
+
+struct AttackSpec {
+  AttackKind kind = AttackKind::kNone;
+  double scale = 1.0;         // kSignFlip / kScaled delta multiplier
+  double noise_stddev = 1.0;  // kGaussianNoise per-coordinate sigma
+  // Root seed of the attacker's noise stream; apply_attack forks a
+  // per-(client, nonce) sub-stream so runs replay bit-identically
+  // regardless of host thread count.
+  std::uint64_t seed = 0xBADF00Dull;
+};
+
+// Applies `spec` to a client's outgoing update. `reference` is the
+// model the client received this round (the delta anchor); `nonce`
+// disambiguates repeated sends by one client (round index for the
+// sync barrier, dispatched model version for async chains). kNone
+// returns the update unchanged. Throws std::invalid_argument on a
+// non-finite scale or negative/non-finite noise_stddev.
+ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
+                             const ModelParameters& reference,
+                             std::size_t client, std::uint64_t nonce);
 
 struct ClientProfile {
   // One local step takes compute_multiplier times the reference
@@ -30,6 +74,9 @@ struct ClientProfile {
   ClientLink link;
   // Windows of unavailability on the simulated clock.
   std::vector<OfflineWindow> offline;
+  // Byzantine behavior applied to every update this client uploads
+  // (default: honest).
+  AttackSpec attack;
 
   bool is_online(double t) const;
   // Earliest time >= t at which the client is online. Windows may
@@ -59,6 +106,11 @@ struct SimConfig {
   // channel defaults.
   static SimConfig heterogeneous(std::size_t n, std::uint64_t seed,
                                  double max_slowdown = 8.0);
+  // n reference clients of which `num_attackers` are Byzantine with
+  // `spec`, spread evenly over the index range (a uniform scenario
+  // plus add_attackers).
+  static SimConfig with_attackers(std::size_t n, std::size_t num_attackers,
+                                  const AttackSpec& spec);
 };
 
 // Adds periodic offline windows to client `idx` of `config`: offline
@@ -66,5 +118,12 @@ struct SimConfig {
 // i = 0..repeats-1.
 void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,
                           double period, double duration, int repeats);
+
+// Marks `num_attackers` of config's clients as Byzantine with `spec`,
+// spread evenly over the index range (so samplers and cluster
+// assignments both see attackers). Requires num_attackers <= #profiles
+// and a valid spec (finite scale, non-negative finite noise_stddev).
+void add_attackers(SimConfig& config, std::size_t num_attackers,
+                   const AttackSpec& spec);
 
 }  // namespace fleda

@@ -512,9 +512,11 @@ TEST(Participation, UniformSampleIsSeededSortedAndSized) {
     if (cohort != first) varied = true;
   }
   EXPECT_TRUE(varied);  // it actually resamples across rounds
-  // Degenerate sizes fall back to full participation.
-  EXPECT_EQ(UniformSample(0).select(ctx).size(), 6u);
+  // C >= K degenerates to full participation; non-positive C is a
+  // config error rejected at construction (a typo must not silently
+  // run full-cost rounds).
   EXPECT_EQ(UniformSample(99).select(ctx).size(), 6u);
+  EXPECT_THROW(UniformSample(0), std::invalid_argument);
 }
 
 TEST(Participation, AvailabilityAwareFiltersOfflineClients) {
