@@ -14,8 +14,9 @@
 
 #include "core/experiment.hpp"
 #include "core/paper_tables.hpp"
+#include "obs/profiler.hpp"
 #include "util/logging.hpp"
-#include "util/timer.hpp"
+#include "util/timer.hpp"  // Timer alias for the standalone benches
 
 namespace fleda::bench {
 
@@ -42,8 +43,23 @@ inline ExperimentConfig make_config(ModelKind model) {
   return cfg;
 }
 
+// Where the run's time went, phase by phase (empty line-up when the
+// profiler is off — FLEDA_PROFILE=0 skips the table entirely).
+inline void print_profile_breakdown() {
+  const ProfileReport report = Profiler::report();
+  if (report.phases.empty()) return;
+  std::printf("%-18s %10s %12s %12s\n", "phase", "count", "total_ms",
+              "self_ms");
+  for (const PhaseReport& p : report.phases) {
+    std::printf("%-18s %10llu %12.1f %12.1f\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.count), p.total_ms,
+                p.self_ms);
+  }
+}
+
 // Runs all eight table rows for one model and prints the table in the
-// paper layout plus the headline-claims summary.
+// paper layout, the headline-claims summary, and the per-phase time
+// breakdown from the scoped profiler.
 inline int run_accuracy_table(ModelKind model, const std::string& title) {
   ExperimentConfig cfg = make_config(model);
   std::printf("== %s ==\n", title.c_str());
@@ -51,13 +67,19 @@ inline int run_accuracy_table(ModelKind model, const std::string& title) {
               cfg.scale.name.c_str(), cfg.scale.grid, cfg.scale.rounds,
               cfg.scale.steps_per_round, cfg.scale.finetune_steps,
               cfg.scale.placement_fraction);
-  Timer total;
-  Experiment exp(cfg);
-  exp.prepare_data();
-  std::vector<MethodResult> rows = exp.run_paper_table();
+  Profiler::reset();
+  StopWatch total;
+  std::vector<MethodResult> rows;
+  {
+    ProfileScope bench(phase::kBenchTotal);
+    Experiment exp(cfg);
+    exp.prepare_data();
+    rows = exp.run_paper_table();
+  }
   render_accuracy_table(title, rows).print();
   render_headline_summary(rows).print();
   render_comm_table(rows).print();
+  print_profile_breakdown();
   std::printf("total time %.1fs\n\n", total.seconds());
   return 0;
 }

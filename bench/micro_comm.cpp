@@ -11,8 +11,14 @@
 //   {"bench":"codec","name":"int8",...}
 //   {"bench":"e2e","codec":"int8",...}
 // plus a machine-readable BENCH_comm.json (codec throughput and
-// compression ratios, e2e upload reduction) for the perf trajectory —
-// future PRs diff it against this run's CI artifact.
+// compression ratios, e2e upload reduction, and the merged per-phase
+// profile) for the perf trajectory — future PRs diff it against this
+// run's CI artifact.
+//
+// The codec timings are ProfileScope spans (the profiler is
+// force-enabled for the whole bench), so the MB/s columns and the
+// embedded profile's codec/encode + codec/decode phases come from the
+// same clock and the same measurements.
 //
 // Honors FLEDA_SCALE (default smoke — this is a bandwidth bench, not
 // an accuracy bench) and FLEDA_CACHE_DIR like the table benches.
@@ -25,8 +31,8 @@
 #include "comm/codec.hpp"
 #include "core/experiment.hpp"
 #include "models/registry.hpp"
+#include "obs/profiler.hpp"
 #include "phys/features.hpp"
-#include "util/timer.hpp"
 
 namespace fleda {
 namespace {
@@ -52,17 +58,25 @@ CodecRow bench_codec(const ParameterCodec& codec,
   ByteBuffer blob = codec.encode(params, &reference);
   const double raw_mb = static_cast<double>(raw_wire_bytes(params)) / 1e6;
 
-  Timer encode_timer;
-  for (int i = 0; i < repeats; ++i) {
-    ByteBuffer b = codec.encode(params, &reference);
+  // The timing spans double as profiler phases: the codec/encode and
+  // codec/decode rows of the embedded report are these exact loops.
+  double encode_s = 0.0;
+  {
+    ProfileScope scope(phase::kCodecEncode);
+    for (int i = 0; i < repeats; ++i) {
+      ByteBuffer b = codec.encode(params, &reference);
+    }
+    encode_s = scope.seconds();
   }
-  const double encode_s = encode_timer.seconds();
 
-  Timer decode_timer;
-  for (int i = 0; i < repeats; ++i) {
-    ModelParameters p = codec.decode(blob, &reference);
+  double decode_s = 0.0;
+  {
+    ProfileScope scope(phase::kCodecDecode);
+    for (int i = 0; i < repeats; ++i) {
+      ModelParameters p = codec.decode(blob, &reference);
+    }
+    decode_s = scope.seconds();
   }
-  const double decode_s = decode_timer.seconds();
 
   CodecRow row;
   row.name = codec.name();
@@ -102,7 +116,8 @@ E2EResult run_e2e(Experiment& exp, CodecKind uplink) {
 
 void write_bench_json(const std::vector<CodecRow>& codecs,
                       const E2EResult& fp32, const E2EResult& int8,
-                      double reduction) {
+                      double reduction, const ProfileReport& profile,
+                      int distinct_phases) {
   std::FILE* f = std::fopen("BENCH_comm.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "micro_comm: cannot write BENCH_comm.json\n");
@@ -120,12 +135,19 @@ void write_bench_json(const std::vector<CodecRow>& codecs,
   std::fprintf(
       f,
       "],\"e2e\":{\"fp32_upload_mb\":%.3f,\"int8_upload_mb\":%.3f,"
-      "\"upload_reduction\":%.2f,\"auc_delta\":%.4f}}\n",
-      fp32.upload_mb, int8.upload_mb, reduction, int8.avg_auc - fp32.avg_auc);
+      "\"upload_reduction\":%.2f,\"auc_delta\":%.4f},"
+      "\"distinct_phases\":%d,\"profile\":%s}\n",
+      fp32.upload_mb, int8.upload_mb, reduction, int8.avg_auc - fp32.avg_auc,
+      distinct_phases, profile.to_json().c_str());
   std::fclose(f);
 }
 
 int main_impl() {
+  // Force the instrumented mode regardless of FLEDA_PROFILE: the codec
+  // MB/s columns are profiler spans, so without it there is no bench.
+  Profiler::set_enabled(true);
+  Profiler::reset();
+
   const ModelParameters params = paper_snapshot(1);
   const ModelParameters reference = paper_snapshot(2);
   const int repeats = 20;
@@ -161,8 +183,23 @@ int main_impl() {
       "\"upload_reduction_vs_fp32\":%.2f,\"auc_delta\":%.4f}\n",
       int8.upload_mb, int8.avg_auc, int8.sim_latency_s, reduction,
       int8.avg_auc - fp32.avg_auc);
-  write_bench_json(codec_rows, fp32, int8, reduction);
-  return reduction >= 3.5 ? 0 : 1;
+
+  // The merged per-phase profile: the codec loops above plus the two
+  // end-to-end FedProx runs (training, channel codecs, aggregation,
+  // dispatch, pool). Fewer than 6 live phases means an instrumentation
+  // regression somewhere in the library.
+  const ProfileReport profile = Profiler::report();
+  int distinct_phases = 0;
+  for (const PhaseReport& p : profile.phases) {
+    if (p.count > 0) ++distinct_phases;
+  }
+  const bool profile_ok = distinct_phases >= 6;
+  std::printf("{\"bench\":\"profile\",\"distinct_phases\":%d,\"pass\":%s}\n",
+              distinct_phases, profile_ok ? "true" : "false");
+
+  write_bench_json(codec_rows, fp32, int8, reduction, profile,
+                   distinct_phases);
+  return reduction >= 3.5 && profile_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -31,9 +31,20 @@
 // layer's NaN guard counts as diverged — loudly, which is the point of
 // the guard.
 //
+// Part 5 is the observability overhead gate: the same K = 1000
+// federation run three times with the scoped profiler enabled and
+// three times disabled (median of each). The instrumented run must
+// sustain at least 95% of the uninstrumented events/sec, and both
+// modes must produce bit-identical finals — profiling is time-only,
+// never part of the simulation state.
+//
 // Output is one JSON object per line, easy to diff/collect in CI, and
 // the headline numbers are also written to BENCH_sim.json so future
 // PRs can gate on perf regressions (the machine-readable trajectory).
+// BENCH_sim.json also embeds the merged per-phase profile of the whole
+// run (train/codec/aggregate/dispatch/pool breakdowns).
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -47,6 +58,7 @@
 #include "fl/synthetic.hpp"
 #include "models/pool.hpp"
 #include "models/registry.hpp"
+#include "obs/profiler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/profile.hpp"
 #include "util/rng.hpp"
@@ -99,7 +111,10 @@ std::uint64_t finals_checksum(const std::vector<ModelParameters>& finals) {
 
 // --- part 1: event-loop throughput -----------------------------------
 
-double bench_event_loop(std::uint64_t num_events) {
+// `profiled` only labels the JSON line; the caller flips the profiler.
+// No-op callbacks are the profiler's worst case (the sim/dispatch span
+// is the entire event body), so the pair of lines bounds its cost.
+double bench_event_loop(std::uint64_t num_events, bool profiled) {
   SimClock clock;
   EventQueue queue;
   Rng rng(7);
@@ -121,7 +136,9 @@ double bench_event_loop(std::uint64_t num_events) {
   const double events_per_sec =
       static_cast<double>(queue.processed()) / seconds;
   std::printf(
-      "{\"bench\":\"event_loop\",\"events\":%llu,\"events_per_sec\":%.0f}\n",
+      "{\"bench\":\"event_loop\",\"profiler\":%s,\"events\":%llu,"
+      "\"events_per_sec\":%.0f}\n",
+      profiled ? "true" : "false",
       static_cast<unsigned long long>(queue.processed()), events_per_sec);
   (void)fired;
   return events_per_sec;
@@ -335,7 +352,11 @@ bool bit_identical_params(const ModelParameters& a, const ModelParameters& b) {
 
 // Headline numbers collected across the parts for BENCH_sim.json.
 struct SimBenchSummary {
+  // Raw-loop throughput with the profiler off — the engine itself,
+  // comparable against pre-profiler trajectory artifacts — and with it
+  // on (every event body wrapped in a sim/dispatch span).
   double events_per_sec = 0.0;
+  double events_per_sec_profiled = 0.0;
   double thousand_host_s = 0.0;
   double thousand_round_host_ms = 0.0;
   double thousand_sim_time_s = 0.0;
@@ -356,6 +377,13 @@ struct SimBenchSummary {
   double byz_coordinate_median_auc = 0.0;
   double byz_trimmed_mean_auc = 0.0;
   bool byz_pass = false;
+  // Part 5: profiler overhead on the K = 1000 federation.
+  double prof_disabled_eps = 0.0;   // sim events/sec, profiler off
+  double prof_enabled_eps = 0.0;    // sim events/sec, profiler on
+  double prof_overhead_pct = 0.0;   // (off/on - 1) * 100
+  bool prof_fingerprints_match = false;
+  bool prof_pass = false;
+  int distinct_phases = 0;          // phases with count > 0 in the report
 };
 
 int bench_thousand_clients(SimBenchSummary* summary) {
@@ -512,10 +540,68 @@ int bench_byzantine(SimBenchSummary* summary) {
   return pass ? 0 : 1;
 }
 
+// --- part 5: profiler overhead on the K = 1000 federation ------------
+
+// Median-of-3 simulated-events/sec of the standard thousand-client run
+// in the given profiler mode, plus the fingerprint of the first run's
+// finals. Median (not mean) so one scheduler hiccup cannot fail the
+// gate.
+double thousand_events_per_sec(bool profiler_enabled,
+                               std::uint64_t* fingerprint) {
+  Profiler::set_enabled(profiler_enabled);
+  ThousandOptions topts;
+  std::array<double, 3> host{};
+  std::uint64_t events = 0;
+  for (int i = 0; i < 3; ++i) {
+    Timer timer;
+    const ThousandRun run = run_thousand(topts);
+    host[static_cast<std::size_t>(i)] = timer.seconds();
+    if (run.failed) return 0.0;  // gate fails loudly downstream
+    events = run.report.events_processed;
+    if (i == 0) *fingerprint = finals_checksum({run.finals.front()});
+  }
+  std::sort(host.begin(), host.end());
+  return static_cast<double>(events) / host[1];
+}
+
+int bench_profiler_overhead(SimBenchSummary* summary) {
+  std::uint64_t fp_disabled = 0;
+  std::uint64_t fp_enabled = 0;
+  const double eps_disabled = thousand_events_per_sec(false, &fp_disabled);
+  const double eps_enabled = thousand_events_per_sec(true, &fp_enabled);
+  // Leaves the profiler on for the rest of the process (the embedded
+  // per-phase report wants the instrumented mode).
+
+  const double overhead_pct =
+      eps_enabled > 0.0 ? (eps_disabled / eps_enabled - 1.0) * 100.0 : 1e9;
+  const bool fingerprints_match =
+      fp_disabled == fp_enabled && fp_disabled != 0;
+  const bool within_budget = eps_enabled >= 0.95 * eps_disabled;
+  const bool pass = fingerprints_match && within_budget;
+
+  std::printf(
+      "{\"bench\":\"profiler_overhead\",\"disabled_events_per_sec\":%.0f,"
+      "\"enabled_events_per_sec\":%.0f,\"overhead_pct\":%.2f,"
+      "\"fingerprints_match\":%s,\"within_5pct\":%s,\"pass\":%s}\n",
+      eps_disabled, eps_enabled, overhead_pct,
+      fingerprints_match ? "true" : "false", within_budget ? "true" : "false",
+      pass ? "true" : "false");
+
+  if (summary != nullptr) {
+    summary->prof_disabled_eps = eps_disabled;
+    summary->prof_enabled_eps = eps_enabled;
+    summary->prof_overhead_pct = overhead_pct;
+    summary->prof_fingerprints_match = fingerprints_match;
+    summary->prof_pass = pass;
+  }
+  return pass ? 0 : 1;
+}
+
 // The machine-readable perf trajectory: one JSON object per run, so a
 // future PR can diff events/sec, round time, and the memory budget
 // against this one's CI artifact.
-void write_bench_json(const SimBenchSummary& summary) {
+void write_bench_json(const SimBenchSummary& summary,
+                      const ProfileReport& profile) {
   std::FILE* f = std::fopen("BENCH_sim.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "micro_sim: cannot write BENCH_sim.json\n");
@@ -524,6 +610,7 @@ void write_bench_json(const SimBenchSummary& summary) {
   std::fprintf(
       f,
       "{\"bench\":\"micro_sim\",\"events_per_sec\":%.0f,"
+      "\"events_per_sec_profiled\":%.0f,"
       "\"thousand_clients\":{\"clients\":1000,\"cohort\":20,\"rounds\":3,"
       "\"host_time_s\":%.3f,\"round_host_ms\":%.1f,\"sim_time_s\":%.3f,"
       "\"bytes_per_round\":%llu,\"peak_model_instances\":%lld,"
@@ -534,8 +621,13 @@ void write_bench_json(const SimBenchSummary& summary) {
       "\"weighted_average_auc\":%.4f,\"weighted_average_diverged\":%s,"
       "\"coordinate_median_auc\":%.4f,\"trimmed_mean_auc\":%.4f,"
       "\"pass\":%s},"
+      "\"profiler_overhead\":{\"disabled_events_per_sec\":%.0f,"
+      "\"enabled_events_per_sec\":%.0f,\"overhead_pct\":%.2f,"
+      "\"fingerprints_match\":%s,\"pass\":%s},"
+      "\"distinct_phases\":%d,\"profile\":%s,"
       "\"threads\":%zu,\"peak_rss_mb\":%.1f}\n",
-      summary.events_per_sec, summary.thousand_host_s,
+      summary.events_per_sec, summary.events_per_sec_profiled,
+      summary.thousand_host_s,
       summary.thousand_round_host_ms, summary.thousand_sim_time_s,
       static_cast<unsigned long long>(summary.thousand_bytes_per_round),
       static_cast<long long>(summary.peak_model_instances),
@@ -547,21 +639,50 @@ void write_bench_json(const SimBenchSummary& summary) {
       summary.byz_weighted_average_diverged ? "true" : "false",
       summary.byz_coordinate_median_auc, summary.byz_trimmed_mean_auc,
       summary.byz_pass ? "true" : "false",
+      summary.prof_disabled_eps, summary.prof_enabled_eps,
+      summary.prof_overhead_pct,
+      summary.prof_fingerprints_match ? "true" : "false",
+      summary.prof_pass ? "true" : "false",
+      summary.distinct_phases, profile.to_json().c_str(),
       ThreadPool::global().size(), summary.rss_mb);
   std::fclose(f);
 }
 
 int main_impl() {
   SimBenchSummary summary;
-  summary.events_per_sec = bench_event_loop(1'000'000);
+  // Raw loop both ways. The headline events_per_sec stays the
+  // uninstrumented number (comparable with pre-profiler trajectory
+  // artifacts); the profiled line shows the worst case (span around a
+  // no-op body).
+  Profiler::set_enabled(false);
+  summary.events_per_sec = bench_event_loop(1'000'000, false);
+  Profiler::set_enabled(true);
+  Profiler::reset();
+  summary.events_per_sec_profiled = bench_event_loop(1'000'000, true);
   const int straggler_rc = bench_straggler();
   const int thousand_rc = bench_thousand_clients(&summary);
+  const int overhead_rc = bench_profiler_overhead(&summary);
   const int byzantine_rc = bench_byzantine(&summary);
   summary.rss_mb = peak_rss_mb();
-  write_bench_json(summary);
+
+  // The merged per-phase profile of everything since the reset above.
+  // The federation parts must have lit up the whole instrumented
+  // surface (train fwd/bwd/opt, codec both ways, aggregate, dispatch,
+  // pool) — a missing phase means an instrumentation regression.
+  const ProfileReport profile = Profiler::report();
+  for (const PhaseReport& p : profile.phases) {
+    if (p.count > 0) ++summary.distinct_phases;
+  }
+  const bool profile_ok = summary.distinct_phases >= 6;
+  std::printf("{\"bench\":\"profile\",\"distinct_phases\":%d,\"pass\":%s}\n",
+              summary.distinct_phases, profile_ok ? "true" : "false");
+
+  write_bench_json(summary, profile);
   if (straggler_rc != 0) return straggler_rc;
   if (thousand_rc != 0) return thousand_rc;
-  return byzantine_rc;
+  if (overhead_rc != 0) return overhead_rc;
+  if (byzantine_rc != 0) return byzantine_rc;
+  return profile_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,212 @@
+// SimTrace timeline artifacts: runs three stock K = 1000 scenarios
+// with tracing enabled and renders each SimTrace through
+// obs/trace_html into a self-contained HTML Gantt —
+//
+//   TRACE_straggler.html  full-participation sync FedAvg with one 20x
+//                         straggler (the long compute bar every round
+//                         waits for),
+//   TRACE_dropout.html    AsyncFedAvg under periodic offline windows
+//                         (gray availability bands, red crosses where
+//                         in-flight uploads were lost),
+//   TRACE_byzantine.html  sampled sync FedAvg with 10% sign-flip
+//                         attackers (tinted lanes).
+//
+// Each render is gated on the markers it exists to show (compute
+// spans, offline bands + drop markers, attacker lanes); CI uploads the
+// three files next to the BENCH_*.json trajectory.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fl/async_fedavg.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/synthetic.hpp"
+#include "models/pool.hpp"
+#include "models/registry.hpp"
+#include "obs/trace_html.hpp"
+#include "sim/profile.hpp"
+#include "util/rng.hpp"
+
+namespace fleda {
+namespace {
+
+constexpr std::size_t kK = 1000;
+
+// The micro_sim fleet: K clients sharing 9 synthetic datasets through
+// one scratch pool.
+struct Fleet {
+  std::vector<ClientDataset> data;
+  ModelFactory factory;
+  std::shared_ptr<ModelPool> pool;
+  std::vector<Client> clients;
+};
+
+Fleet make_fleet() {
+  Fleet fleet;
+  for (int d = 0; d < 9; ++d) {
+    fleet.data.push_back(make_synthetic_client(
+        d + 1, 0.35f + 0.04f * static_cast<float>(d), 1000 + d));
+  }
+  fleet.factory = make_model_factory(ModelKind::kFLNet, 2);
+  fleet.pool = std::make_shared<ModelPool>(fleet.factory);
+  Rng rng(4242);
+  fleet.clients.reserve(kK);
+  for (std::size_t k = 0; k < kK; ++k) {
+    fleet.clients.emplace_back(static_cast<int>(k) + 1, &fleet.data[k % 9],
+                               fleet.pool, rng.fork(k));
+  }
+  return fleet;
+}
+
+FLRunOptions base_options() {
+  FLRunOptions opts;
+  opts.client.steps = 2;
+  opts.client.batch_size = 2;
+  opts.client.learning_rate = 1e-3;
+  opts.client.mu = 0.0;
+  opts.seed = 99;
+  opts.trace = true;
+  return opts;
+}
+
+std::size_t count_kind(const SimReport& report, SimEventKind kind) {
+  std::size_t n = 0;
+  for (const SimTraceEntry& e : report.trace) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+bool write_html(const char* path, const std::string& html) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "trace_viz: cannot write %s\n", path);
+    return false;
+  }
+  out << html;
+  return true;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Valid self-contained page with a timeline in it.
+bool html_well_formed(const std::string& html) {
+  return contains(html, "<!DOCTYPE html>") && contains(html, "<svg") &&
+         contains(html, "</svg>") && contains(html, "</html>");
+}
+
+int scenario_straggler() {
+  Fleet fleet = make_fleet();
+  FLRunOptions opts = base_options();
+  opts.rounds = 2;
+  opts.sim = SimConfig::with_straggler(kK, /*idx=*/7, /*slowdown=*/20.0);
+  opts.sim.step_time_s = 0.05;
+  SimReport report;
+  opts.sim_report = &report;
+  FedAvg algo;
+  algo.run(fleet.clients, fleet.factory, opts);
+
+  TraceVizOptions viz;
+  viz.title = "fleda SimTrace: K=1000 sync FedAvg, one 20x straggler";
+  viz.lane_height_px = 4;
+  const std::string html = render_trace_html(report, opts.sim, kK, viz);
+  const bool ok = html_well_formed(html) && contains(html, "class=\"compute\"") &&
+                  contains(html, "class=\"up\"") &&
+                  count_kind(report, SimEventKind::kRoundEnd) > 0 &&
+                  write_html("TRACE_straggler.html", html);
+  std::printf(
+      "{\"bench\":\"trace_viz\",\"scenario\":\"straggler\",\"clients\":%zu,"
+      "\"trace_events\":%zu,\"html_bytes\":%zu,\"pass\":%s}\n",
+      kK, report.trace.size(), html.size(), ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
+int scenario_dropout() {
+  Fleet fleet = make_fleet();
+  FLRunOptions opts = base_options();
+  opts.rounds = 10;  // async: server aggregations
+  opts.sim = SimConfig::uniform(kK);
+  // One local step = 1 simulated second, so a dispatched chain takes
+  // ~2.1 s; clients 0..29 go offline during [~1, ~6) and twice more —
+  // their first upload of each cycle is in flight when the window
+  // opens, so it is dropped and retried after rejoin.
+  opts.sim.step_time_s = 1.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    add_periodic_dropout(opts.sim, i, /*phase=*/1.0 + 0.1 * double(i),
+                         /*period=*/8.0, /*duration=*/5.0, /*repeats=*/3);
+  }
+  SimReport report;
+  opts.sim_report = &report;
+  AsyncConfig async;
+  async.buffer_size = 20;
+  async.max_in_flight = 50;
+  AsyncFedAvg algo(async);
+  algo.run(fleet.clients, fleet.factory, opts);
+
+  TraceVizOptions viz;
+  viz.title =
+      "fleda SimTrace: K=1000 AsyncFedAvg, periodic dropout on 30 clients";
+  viz.lane_height_px = 6;
+  const std::string html = render_trace_html(report, opts.sim, kK, viz);
+  const std::size_t drops = count_kind(report, SimEventKind::kDropped);
+  const bool ok = html_well_formed(html) && drops > 0 &&
+                  contains(html, "class=\"offline\"") &&
+                  contains(html, "class=\"drop\"") &&
+                  contains(html, "class=\"agg\"") &&
+                  write_html("TRACE_dropout.html", html);
+  std::printf(
+      "{\"bench\":\"trace_viz\",\"scenario\":\"dropout\",\"clients\":%zu,"
+      "\"trace_events\":%zu,\"dropped_updates\":%zu,\"html_bytes\":%zu,"
+      "\"pass\":%s}\n",
+      kK, report.trace.size(), drops, html.size(), ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
+int scenario_byzantine() {
+  Fleet fleet = make_fleet();
+  FLRunOptions opts = base_options();
+  opts.rounds = 3;
+  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.sample_size = 20;
+  opts.participation.seed = 31337;
+  AttackSpec attack;
+  attack.kind = AttackKind::kSignFlip;
+  attack.scale = 10.0;
+  opts.sim = SimConfig::with_attackers(kK, /*num_attackers=*/100, attack);
+  opts.sim.step_time_s = 0.05;
+  SimReport report;
+  opts.sim_report = &report;
+  FedAvg algo;
+  algo.run(fleet.clients, fleet.factory, opts);
+
+  TraceVizOptions viz;
+  viz.title =
+      "fleda SimTrace: K=1000 sync FedAvg (C=20), 10% sign-flip attackers";
+  const std::string html = render_trace_html(report, opts.sim, kK, viz);
+  const bool ok = html_well_formed(html) &&
+                  contains(html, "class=\"attacker-bg\"") &&
+                  contains(html, "lane-label attacker") &&
+                  write_html("TRACE_byzantine.html", html);
+  std::printf(
+      "{\"bench\":\"trace_viz\",\"scenario\":\"byzantine\",\"clients\":%zu,"
+      "\"trace_events\":%zu,\"html_bytes\":%zu,\"pass\":%s}\n",
+      kK, report.trace.size(), html.size(), ok ? "true" : "false");
+  return ok ? 0 : 1;
+}
+
+int main_impl() {
+  const int straggler_rc = scenario_straggler();
+  const int dropout_rc = scenario_dropout();
+  const int byzantine_rc = scenario_byzantine();
+  if (straggler_rc != 0) return straggler_rc;
+  if (dropout_rc != 0) return dropout_rc;
+  return byzantine_rc;
+}
+
+}  // namespace
+}  // namespace fleda
+
+int main() { return fleda::main_impl(); }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fleda {
@@ -68,6 +70,9 @@ void Channel::ensure_clients(std::size_t n) {
 
 void Channel::bill_downlink(std::size_t client, std::uint64_t bytes,
                             std::uint64_t raw_bytes) {
+  static Counter& billed =
+      MetricsRegistry::global().counter("fleda.comm.downlink_bytes");
+  billed.add(bytes);
   stats_.downlink_bytes += bytes;
   stats_.raw_downlink_bytes += raw_bytes;
   stats_.downlink_messages += 1;
@@ -79,6 +84,9 @@ void Channel::bill_downlink(std::size_t client, std::uint64_t bytes,
 
 void Channel::bill_uplink(std::size_t client, std::uint64_t bytes,
                           std::uint64_t raw_bytes) {
+  static Counter& billed =
+      MetricsRegistry::global().counter("fleda.comm.uplink_bytes");
+  billed.add(bytes);
   stats_.uplink_bytes += bytes;
   stats_.raw_uplink_bytes += raw_bytes;
   stats_.uplink_messages += 1;
@@ -132,8 +140,13 @@ std::vector<std::shared_ptr<const ModelParameters>> Channel::broadcast(
   parallel_for(distinct.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [snapshot, reference] = distinct[i];
-      const ByteBuffer blob = downlink_codec_->encode(*snapshot, reference);
+      ByteBuffer blob;
+      {
+        ProfileScope enc(phase::kCodecEncode);
+        blob = downlink_codec_->encode(*snapshot, reference);
+      }
       sizes[i] = {blob.size(), raw_wire_bytes(*snapshot)};
+      ProfileScope dec(phase::kCodecDecode);
       decoded[i] = std::make_shared<const ModelParameters>(
           downlink_codec_->decode(blob, reference));
     }
@@ -167,10 +180,18 @@ ModelParameters Channel::uplink_roundtrip(std::size_t client,
     compensated.add_scaled(residuals_[client], 1.0);
     to_send = &compensated;
   }
-  const ByteBuffer blob = uplink_codec_->encode(*to_send, reference);
+  ByteBuffer blob;
+  {
+    ProfileScope enc(phase::kCodecEncode);
+    blob = uplink_codec_->encode(*to_send, reference);
+  }
   *bytes = blob.size();
   *raw_bytes = raw_wire_bytes(update);
-  ModelParameters decoded = uplink_codec_->decode(blob, reference);
+  ModelParameters decoded;
+  {
+    ProfileScope dec(phase::kCodecDecode);
+    decoded = uplink_codec_->decode(blob, reference);
+  }
   if (feedback) {
     ModelParameters residual = *to_send;
     residual.add_scaled(decoded, -1.0);
@@ -224,11 +245,19 @@ std::shared_ptr<const ModelParameters> Channel::send_down(
   ensure_clients(client + 1);
   const ModelParameters* reference =
       downlink_delta_ ? downlink_refs_[client].get() : nullptr;
-  const ByteBuffer blob = downlink_codec_->encode(snapshot, reference);
+  ByteBuffer blob;
+  {
+    ProfileScope enc(phase::kCodecEncode);
+    blob = downlink_codec_->encode(snapshot, reference);
+  }
   bill_downlink(client, blob.size(), raw_wire_bytes(snapshot));
   if (bytes_out != nullptr) *bytes_out = blob.size();
-  auto decoded = std::make_shared<const ModelParameters>(
-      downlink_codec_->decode(blob, reference));
+  std::shared_ptr<const ModelParameters> decoded;
+  {
+    ProfileScope dec(phase::kCodecDecode);
+    decoded = std::make_shared<const ModelParameters>(
+        downlink_codec_->decode(blob, reference));
+  }
   if (downlink_delta_) downlink_refs_[client] = decoded;
   return decoded;
 }

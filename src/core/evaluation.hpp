@@ -8,6 +8,7 @@
 
 #include "comm/channel.hpp"
 #include "fl/client.hpp"
+#include "obs/telemetry.hpp"
 
 namespace fleda {
 
@@ -26,6 +27,9 @@ struct MethodResult {
   // Participation policy the run used ("full", "uniform_sample", ...);
   // empty for the non-federated baselines.
   std::string participation;
+  // One record per channel round (cohort, traffic, staleness, guard
+  // trips — see obs/telemetry.hpp); empty for baselines.
+  std::vector<RoundTelemetry> round_telemetry;
 };
 
 // Evaluates per-client final models: finals[k] on clients[k].

@@ -4,6 +4,7 @@
 
 #include "data/serialization.hpp"
 #include "fl/baselines.hpp"
+#include "obs/telemetry.hpp"
 #include "phys/features.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -190,14 +191,19 @@ MethodResult Experiment::run_method(std::string_view name) {
     std::unique_ptr<FederatedAlgorithm> algo = make_algorithm(name);
     ChannelStats comm;
     SimReport sim;
+    // Streams to FLEDA_TELEMETRY_FILE when set; always collects the
+    // per-round records into the result row.
+    TelemetrySink telemetry(TelemetrySink::env_path());
     FLRunOptions opts = make_run_options();
     opts.comm_stats = &comm;
     opts.sim_report = &sim;
+    opts.telemetry = &telemetry;
     std::vector<ModelParameters> finals = algo->run(clients, factory_, opts);
     result = evaluate_per_client(label, clients, finals);
     result.comm = std::move(comm);
     result.sim_time_s = sim.total_time_s;
     result.sim_events = sim.events_processed;
+    result.round_telemetry = telemetry.rounds();
     // Event-driven methods ignore the sync participation policy; do
     // not claim sampling was applied to them.
     result.participation = algo->uses_participation()

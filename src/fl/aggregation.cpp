@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
 namespace fleda {
 namespace {
 
@@ -47,6 +50,9 @@ double checked_total_weight(const char* rule,
     // (either poisons the sum). Guards every rule, including plain
     // WeightedAverage — the historical hole this check closes.
     if (!std::isfinite(in.params->squared_l2_norm())) {
+      static Counter& trips = MetricsRegistry::global().counter(
+          "fleda.agg.nonfinite_guard_trips");
+      trips.add(1);
       throw std::invalid_argument(
           std::string(rule) + ": " + who(in, i) +
           " sent a non-finite update (NaN/Inf parameter values) — "
@@ -77,6 +83,7 @@ void check_structure(const char* rule, const ModelParameters& reference,
 ModelParameters WeightedAverage::aggregate(
     const ModelParameters& /*current*/,
     const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
   const double total =
       checked_total_weight("WeightedAverage", cohort, false, nullptr);
   ModelParameters result = *cohort[0].params;
@@ -91,6 +98,7 @@ ModelParameters WeightedAverage::aggregate(
 ModelParameters CoordinateMedian::aggregate(
     const ModelParameters& /*current*/,
     const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
   checked_total_weight("CoordinateMedian", cohort, false, nullptr);
   for (std::size_t i = 1; i < cohort.size(); ++i) {
     check_structure("CoordinateMedian", *cohort[0].params, cohort[i], i);
@@ -140,6 +148,7 @@ TrimmedMean::TrimmedMean(double trim_fraction)
 ModelParameters TrimmedMean::aggregate(
     const ModelParameters& /*current*/,
     const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
   checked_total_weight("TrimmedMean", cohort, false, nullptr);
   for (std::size_t i = 1; i < cohort.size(); ++i) {
     check_structure("TrimmedMean", *cohort[0].params, cohort[i], i);
@@ -180,6 +189,7 @@ NormClippedMean::NormClippedMean(double clip_norm) : clip_norm_(clip_norm) {
 ModelParameters NormClippedMean::aggregate(
     const ModelParameters& current,
     const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
   const double total =
       checked_total_weight("NormClippedMean", cohort, false, nullptr);
   if (current.empty()) {
@@ -226,6 +236,7 @@ StalenessDiscountedMix::StalenessDiscountedMix(StalenessPolicy staleness,
 ModelParameters StalenessDiscountedMix::aggregate(
     const ModelParameters& current,
     const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
   const double total = checked_total_weight("StalenessDiscountedMix", cohort,
                                             true, &staleness_);
   // acc = sum_i n_i s(tau_i) delta_i

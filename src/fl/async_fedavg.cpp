@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace fleda {
 namespace {
 
@@ -100,6 +102,20 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
       cohort.push_back({&b.delta, b.weight, version - b.dispatched_version,
                         b.client});
     }
+    if (TelemetrySink* sink = sim.telemetry()) {
+      int attackers = 0;
+      for (const Buffered& b : buffer) {
+        if (b.client >= 0 &&
+            engine.profile(static_cast<std::size_t>(b.client)).attack.kind !=
+                AttackKind::kNone) {
+          ++attackers;
+        }
+      }
+      sink->record_cohort(static_cast<int>(buffer.size()), attackers);
+      for (const Buffered& b : buffer) {
+        sink->record_staleness(version - b.dispatched_version);
+      }
+    }
     if (rule->folds_into_current()) {
       global = rule->aggregate(global, cohort);
     } else {
@@ -118,6 +134,7 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
     // per-round latency stays meaningful for time-to-target plots.
     channel.end_round(engine.now() - last_aggregate_time);
     last_aggregate_time = engine.now();
+    sim.close_telemetry_round();
     if (opts.on_round) {
       opts.on_round(version - 1,
                     std::vector<ModelParameters>(clients.size(), global));

@@ -5,6 +5,7 @@
 
 #include "metrics/roc_auc.hpp"
 #include "nn/loss.hpp"
+#include "obs/profiler.hpp"
 
 namespace fleda {
 
@@ -70,25 +71,33 @@ ModelParameters Client::train_steps(const ModelParameters& start, int steps,
   for (int step = 0; step < steps; ++step) {
     Batch batch = make_batch(data_->train, sampler.next());
     optimizer.zero_grad();
-    Tensor pred = model.forward(batch.x, /*training=*/true);
-    LossResult loss = mse_loss(pred, batch.y);
+    LossResult loss;
+    {
+      ProfileScope fwd(phase::kTrainForward);
+      Tensor pred = model.forward(batch.x, /*training=*/true);
+      loss = mse_loss(pred, batch.y);
+    }
     loss_acc += loss.value;
-    model.backward(loss.grad);
-    if (anchor != nullptr && cfg.mu > 0.0) {
-      // grad += mu * (w - W^r)
-      const auto params = model.parameters();
-      std::size_t i = 0;
-      for (const ParameterEntry& e : anchor->entries()) {
-        if (e.is_buffer) continue;
-        Parameter* p = params[i++];
-        const float mu = static_cast<float>(cfg.mu);
-        float* g = p->grad.data();
-        const float* w = p->value.data();
-        const float* a = e.value.data();
-        const std::int64_t n = p->value.numel();
-        for (std::int64_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+    {
+      ProfileScope bwd(phase::kTrainBackward);
+      model.backward(loss.grad);
+      if (anchor != nullptr && cfg.mu > 0.0) {
+        // grad += mu * (w - W^r)
+        const auto params = model.parameters();
+        std::size_t i = 0;
+        for (const ParameterEntry& e : anchor->entries()) {
+          if (e.is_buffer) continue;
+          Parameter* p = params[i++];
+          const float mu = static_cast<float>(cfg.mu);
+          float* g = p->grad.data();
+          const float* w = p->value.data();
+          const float* a = e.value.data();
+          const std::int64_t n = p->value.numel();
+          for (std::int64_t j = 0; j < n; ++j) g[j] += mu * (w[j] - a[j]);
+        }
       }
     }
+    ProfileScope opt(phase::kTrainOptimizer);
     optimizer.step();
   }
   last_train_loss_ = steps > 0 ? static_cast<float>(loss_acc / steps) : 0.0f;

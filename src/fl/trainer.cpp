@@ -1,8 +1,10 @@
 #include "fl/trainer.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fleda {
@@ -15,6 +17,18 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
   SimEngine engine(opts.sim, opts.comm, clients.size());
   engine.set_trace_enabled(opts.trace);
   FederationSim sim(channel, engine);
+  // Direct algo.run() callers get FLEDA_TELEMETRY_FILE streaming even
+  // without wiring a sink themselves; an explicit sink wins.
+  std::unique_ptr<TelemetrySink> env_sink;
+  TelemetrySink* telemetry = opts.telemetry;
+  if (telemetry == nullptr) {
+    const std::string path = TelemetrySink::env_path();
+    if (!path.empty()) {
+      env_sink = std::make_unique<TelemetrySink>(path);
+      telemetry = env_sink.get();
+    }
+  }
+  sim.set_telemetry(telemetry);
   std::unique_ptr<ParticipationPolicy> participation =
       make_participation_policy(opts.participation);
   std::vector<ModelParameters> finals =
@@ -144,6 +158,19 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   for (const auto& r : received) references.push_back(r.get());
   std::vector<ModelParameters> collected =
       channel.collect(updates, references, cohort);
+  if (TelemetrySink* sink = sim.telemetry()) {
+    int attackers = 0;
+    for (std::size_t k : cohort) {
+      if (sim.engine().profile(k).attack.kind != AttackKind::kNone) {
+        ++attackers;
+      }
+    }
+    sink->record_cohort(static_cast<int>(cohort.size()), attackers);
+    // Every sync update is aggregated at the version it trained on.
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      sink->record_staleness(0);
+    }
+  }
   // Barrier policy: the round's events run on the virtual clock and
   // the round closes at the slowest cohort member's upload.
   sim.finish_sync_round(cfg.steps, cohort);

@@ -26,6 +26,8 @@
 
 namespace fleda {
 
+class TelemetrySink;
+
 struct FLRunOptions {
   int rounds = 50;  // R (for AsyncFedAvg: number of server aggregations)
   ClientTrainConfig client;
@@ -58,6 +60,11 @@ struct FLRunOptions {
   // event count, and — when `trace` is set — the full event trace).
   SimReport* sim_report = nullptr;
   bool trace = false;
+  // Optional per-round telemetry sink (obs/telemetry.hpp): the round
+  // loops record cohort size, attacker flags and staleness into it and
+  // close one RoundTelemetry record per channel round. When null, run()
+  // still honors FLEDA_TELEMETRY_FILE by streaming to a private sink.
+  TelemetrySink* telemetry = nullptr;
   // Optional progress hook: (round, per-client deployed parameters).
   std::function<void(int, const std::vector<ModelParameters>&)> on_round;
 };

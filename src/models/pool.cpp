@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fleda {
@@ -58,6 +59,10 @@ ModelPool::ModelPool(ModelFactory factory, std::size_t max_resident)
 }
 
 ModelLease ModelPool::acquire() {
+  // The span separates cheap reuse hits from cold model constructions
+  // (max_ms surfaces the cold-start cost; count x min_ms the steady
+  // state).
+  ProfileScope prof(phase::kPoolAcquire);
   Rng build_rng(0);
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,251 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace fleda {
+
+namespace {
+
+// Stable per-thread shard index: hash the thread id once, cache it.
+std::size_t thread_shard() {
+  thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMetricShards;
+  return shard;
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// %.6g keeps gauges/sums readable and byte-stable across runs with the
+// same inputs (no locale, no trailing-zero drift).
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t delta) {
+  shards_[thread_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram requires at least one bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram bounds must be ascending");
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow bucket by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// unique_ptr-valued maps: references returned to callers stay pinned
+// while the maps rehash under new registrations.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  bool name_taken_elsewhere(const std::string& name, int kind) const {
+    // kind: 0=counter, 1=gauge, 2=histogram
+    return (kind != 0 && counters.count(name) != 0) ||
+           (kind != 1 && gauges.count(name) != 0) ||
+           (kind != 2 && histograms.count(name) != 0);
+  }
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return impl_;
+}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked so metrics recorded from detached/exiting threads during
+  // static destruction never touch a dead registry.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.name_taken_elsewhere(name, 0)) {
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another kind");
+  }
+  auto& slot = im.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.name_taken_elsewhere(name, 1)) {
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another kind");
+  }
+  auto& slot = im.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  if (im.name_taken_elsewhere(name, 2)) {
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with another kind");
+  }
+  auto& slot = im.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::vector<std::string> out;
+  out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
+  for (const auto& [name, _] : im.counters) out.push_back(name);
+  for (const auto& [name, _] : im.gauges) out.push_back(name);
+  for (const auto& [name, _] : im.histograms) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : im.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_u64(out, counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : im.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += name;
+    out += "\":";
+    append_double(out, gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : im.histograms) {
+    if (!first) out += ',';
+    first = false;
+    const Histogram::Snapshot snap = histogram->snapshot();
+    out += '"';
+    out += name;
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i != 0) out += ',';
+      append_double(out, snap.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i != 0) out += ',';
+      append_u64(out, snap.counts[i]);
+    }
+    out += "],\"count\":";
+    append_u64(out, snap.count);
+    out += ",\"sum\":";
+    append_double(out, snap.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = *impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [_, counter] : im.counters) counter->reset();
+  for (auto& [_, gauge] : im.gauges) gauge->reset();
+  for (auto& [_, histogram] : im.histograms) histogram->reset();
+}
+
+}  // namespace fleda

@@ -1,0 +1,97 @@
+// Per-round telemetry: one structured record per federated round,
+// accumulated by a TelemetrySink that the round loops feed as the
+// round unfolds (cohort composition, staleness of each applied
+// update) and close after the Channel bills the round's traffic.
+//
+// Closing a round also samples two cross-cutting sources: the scoped
+// profiler (the "agg/aggregate" phase total, so aggregate_ms is the
+// wall time the rule actually spent this round) and the metrics
+// registry ("fleda.agg.nonfinite_guard_trips", so guard_trips counts
+// rejected non-finite updates this round). Both are deltas against the
+// previous close, which makes records self-contained.
+//
+// The sink is driven from the simulation's coordinator thread (event
+// handlers and round loops are single-threaded); it is not itself
+// thread-safe. When constructed with a path — or when
+// FLEDA_TELEMETRY_FILE names one — every closed round is also appended
+// to that file as one JSON object per line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fleda {
+
+// Six fixed buckets: staleness 0, 1, 2, 3-4, 5-8, 9+. Sync rounds put
+// everything in bucket zero; async buffers spread across the tail.
+struct StalenessHistogram {
+  static constexpr int kBuckets = 6;
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void observe(int staleness);
+  std::uint64_t total() const;
+  // "0", "1", "2", "3-4", "5-8", "9+"
+  static const char* bucket_label(int bucket);
+};
+
+struct RoundTelemetry {
+  int round = 0;
+  double sim_time_s = 0.0;       // simulated clock at round close
+  int cohort_size = 0;           // updates that reached the aggregator
+  int attacker_flags = 0;        // cohort members with an attack profile
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  StalenessHistogram staleness;
+  // Host time spent in AggregationRule::aggregate since the previous
+  // close (profiler delta; 0.0 when FLEDA_PROFILE=0). Synchronous
+  // loops aggregate *after* the barrier closes the round, so there the
+  // timing lands on the following round's record (one-round lag);
+  // async closes after aggregating, so it is exact.
+  double aggregate_ms = 0.0;
+  std::uint64_t guard_trips = 0; // non-finite updates rejected
+
+  // One-line JSON object with fixed field order (JSONL-friendly).
+  std::string to_json() const;
+};
+
+class TelemetrySink {
+ public:
+  // In-memory only.
+  TelemetrySink();
+  // Also appends each closed round to `jsonl_path` as a JSON line.
+  explicit TelemetrySink(const std::string& jsonl_path);
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  // Called once per round with the cohort handed to the aggregator.
+  void record_cohort(int size, int attackers);
+  // Called once per applied update with its staleness in versions.
+  void record_staleness(int staleness);
+
+  // Finalizes the open record: stores the identifiers and traffic the
+  // caller passes, samples aggregate-time and guard-trip deltas, emits
+  // the JSON line (if streaming), and starts the next open record.
+  void close_round(int round, double sim_time_s, std::uint64_t uplink_bytes,
+                   std::uint64_t downlink_bytes);
+
+  const std::vector<RoundTelemetry>& rounds() const { return rounds_; }
+
+  // Value of FLEDA_TELEMETRY_FILE, or "" when unset.
+  static std::string env_path();
+
+ private:
+  void capture_baselines();
+
+  RoundTelemetry open_;
+  std::vector<RoundTelemetry> rounds_;
+  std::FILE* file_ = nullptr;
+  double aggregate_total_ms_ = 0.0;   // profiler phase total at last close
+  std::uint64_t guard_trips_total_ = 0;
+};
+
+}  // namespace fleda

@@ -1,0 +1,325 @@
+#include "obs/trace_html.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace fleda {
+
+namespace {
+
+struct Span {
+  double begin = 0.0;
+  double end = 0.0;
+  const char* cls = nullptr;  // "down" / "compute" / "up" / "lost"
+  int round = -1;
+};
+
+struct Marker {  // a dropped in-flight update
+  double time = 0.0;
+  int round = -1;
+};
+
+struct Lane {
+  int client = -1;
+  bool attacker = false;
+  std::vector<Span> spans;
+  std::vector<Marker> drops;
+};
+
+struct Rule {  // server-side vertical line
+  double time = 0.0;
+  SimEventKind kind = SimEventKind::kAggregate;
+  int round = -1;
+};
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string escape_html(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* kStyle =
+    "body{font:13px/1.45 system-ui,sans-serif;margin:16px;color:#263238}"
+    "h1{font-size:17px;margin:0 0 4px}"
+    ".meta{color:#607d8b;margin:0 0 10px}"
+    ".legend{margin:0 0 10px}"
+    ".legend span{display:inline-block;margin-right:14px}"
+    ".legend i{display:inline-block;width:12px;height:9px;margin-right:4px;"
+    "border-radius:1px}"
+    ".wrap{overflow:auto;border:1px solid #cfd8dc;max-height:82vh}"
+    "svg{display:block}"
+    ".down{fill:#64b5f6}.compute{fill:#81c784}.up{fill:#ffb74d}"
+    ".lost{fill:#ef9a9a}"
+    ".offline{fill:#b0bec5;fill-opacity:.55}"
+    ".attacker-bg{fill:#c62828;fill-opacity:.10}"
+    ".lane-bg{fill:#eceff1}"
+    ".drop{stroke:#c62828;stroke-width:1.6}"
+    ".agg{stroke:#7b1fa2;stroke-width:1}"
+    ".round{stroke:#90a4ae;stroke-width:1;stroke-dasharray:3 3}"
+    ".axis{stroke:#90a4ae;stroke-width:1}"
+    ".tick{fill:#607d8b;font-size:10px}"
+    ".lane-label{fill:#455a64;font-size:9px}"
+    ".lane-label.attacker{fill:#c62828;font-weight:600}";
+
+}  // namespace
+
+std::string render_trace_html(const SimReport& report, const SimConfig& config,
+                              std::size_t num_clients,
+                              const TraceVizOptions& opts) {
+  // --- reconstruct per-client spans from the trace -----------------
+  struct ClientState {
+    double anchor = 0.0;
+    bool has_chain = false;
+    bool seen = false;
+  };
+  const double t0 = report.trace_start_s;
+  std::vector<ClientState> state(num_clients);
+  std::vector<Lane> lanes(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    lanes[k].client = static_cast<int>(k);
+    lanes[k].attacker = config.profile(k).attack.kind != AttackKind::kNone;
+    state[k].anchor = t0;
+  }
+  std::vector<Rule> rules;
+  double last_barrier = t0;
+  double t_max = report.total_time_s;
+  for (const SimTraceEntry& e : report.trace) {
+    t_max = std::max(t_max, e.time);
+    if (e.client < 0) {
+      rules.push_back({e.time, e.kind, e.round});
+      if (e.kind == SimEventKind::kRoundEnd ||
+          e.kind == SimEventKind::kAggregate) {
+        last_barrier = e.time;
+      }
+      continue;
+    }
+    const auto k = static_cast<std::size_t>(e.client);
+    if (k >= num_clients) continue;
+    ClientState& cs = state[k];
+    Lane& lane = lanes[k];
+    lane.spans.reserve(8);
+    cs.seen = true;
+    switch (e.kind) {
+      case SimEventKind::kDispatch:
+        cs.anchor = e.time;
+        cs.has_chain = true;
+        break;
+      case SimEventKind::kDownlinkDone:
+        if (!cs.has_chain) cs.anchor = std::min(last_barrier, e.time);
+        lane.spans.push_back({cs.anchor, e.time, "down", e.round});
+        cs.anchor = e.time;
+        cs.has_chain = true;
+        break;
+      case SimEventKind::kComputeDone:
+        if (!cs.has_chain) cs.anchor = std::min(last_barrier, e.time);
+        lane.spans.push_back({cs.anchor, e.time, "compute", e.round});
+        cs.anchor = e.time;
+        cs.has_chain = true;
+        break;
+      case SimEventKind::kUplinkDone:
+        if (!cs.has_chain) cs.anchor = std::min(last_barrier, e.time);
+        lane.spans.push_back({cs.anchor, e.time, "up", e.round});
+        cs.anchor = e.time;
+        cs.has_chain = false;
+        break;
+      case SimEventKind::kDropped:
+        if (cs.has_chain && e.time > cs.anchor) {
+          lane.spans.push_back({cs.anchor, e.time, "lost", e.round});
+        }
+        lane.drops.push_back({e.time, e.round});
+        cs.anchor = e.time;
+        cs.has_chain = false;
+        break;
+      default:
+        cs.anchor = e.time;
+        break;
+    }
+  }
+
+  // --- choose the visible lanes ------------------------------------
+  std::vector<const Lane*> visible;
+  std::size_t hidden = 0;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const Lane& lane = lanes[k];
+    const bool has_offline = !config.profile(k).offline.empty();
+    const bool idle = lane.spans.empty() && lane.drops.empty() &&
+                      !lane.attacker && !has_offline;
+    if (opts.collapse_idle && idle) {
+      ++hidden;
+      continue;
+    }
+    visible.push_back(&lane);
+  }
+
+  // --- geometry ----------------------------------------------------
+  const double margin_left = 56.0;
+  const double margin_right = 12.0;
+  const double margin_top = 8.0;
+  const double axis_height = 22.0;
+  const double lane_h = static_cast<double>(std::max(3, opts.lane_height_px));
+  const double lane_gap = lane_h >= 6.0 ? 1.0 : 0.0;
+  const double plot_w =
+      std::max(100.0, static_cast<double>(opts.width_px) - margin_left -
+                          margin_right);
+  if (t_max <= t0) t_max = t0 + 1.0;
+  const double span_s = t_max - t0;
+  auto x = [&](double t) {
+    double clamped = std::min(std::max(t, t0), t_max);
+    return margin_left + (clamped - t0) / span_s * plot_w;
+  };
+  const double plot_h =
+      static_cast<double>(visible.size()) * (lane_h + lane_gap);
+  const double svg_w = margin_left + plot_w + margin_right;
+  const double svg_h = margin_top + plot_h + axis_height;
+  // Label only as many lanes as stay readable; attackers always get one.
+  const std::size_t label_stride =
+      visible.size() <= 40 ? 1 : (visible.size() + 39) / 40;
+
+  // --- emit --------------------------------------------------------
+  std::string out;
+  out.reserve(1 << 16);
+  out += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>";
+  out += escape_html(opts.title);
+  out += "</title>\n<style>";
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n<h1>";
+  out += escape_html(opts.title);
+  out += "</h1>\n<p class=\"meta\">";
+  appendf(out,
+          "%zu clients (%zu shown, %zu idle hidden) &middot; %zu trace "
+          "events &middot; %llu events processed &middot; sim time %.6g s",
+          num_clients, visible.size(), hidden, report.trace.size(),
+          static_cast<unsigned long long>(report.events_processed),
+          report.total_time_s);
+  if (report.trace_start_s > 0.0) {
+    appendf(out,
+            " &middot; <b>tracing enabled at t=%.6g s — earlier events were "
+            "not recorded</b>",
+            report.trace_start_s);
+  }
+  out += "</p>\n<p class=\"legend\">"
+         "<span><i class=\"down\"></i>download</span>"
+         "<span><i class=\"compute\"></i>compute</span>"
+         "<span><i class=\"up\"></i>upload</span>"
+         "<span><i class=\"lost\"></i>lost in-flight (&#x2715; = dropped)</span>"
+         "<span><i class=\"offline\"></i>offline window</span>"
+         "<span><i class=\"attacker-bg\"></i>Byzantine client</span>"
+         "<span><i style=\"background:#7b1fa2\"></i>aggregate</span>"
+         "<span><i style=\"background:#90a4ae\"></i>round barrier</span>"
+         "</p>\n<div class=\"wrap\">\n";
+  appendf(out,
+          "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+          "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+          svg_w, svg_h, svg_w, svg_h);
+
+  // Lane backgrounds, offline bands, spans, drop markers.
+  for (std::size_t i = 0; i < visible.size(); ++i) {
+    const Lane& lane = *visible[i];
+    const double y = margin_top + static_cast<double>(i) * (lane_h + lane_gap);
+    appendf(out,
+            "<rect class=\"%s\" x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+            "height=\"%.2f\"/>\n",
+            lane.attacker ? "attacker-bg" : "lane-bg", margin_left, y, plot_w,
+            lane_h);
+    const ClientProfile& profile =
+        config.profile(static_cast<std::size_t>(lane.client));
+    for (const OfflineWindow& w : profile.offline) {
+      if (w.end <= t0 || w.begin >= t_max) continue;
+      const double x0 = x(w.begin);
+      const double x1 = x(w.end);
+      appendf(out,
+              "<rect class=\"offline\" x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+              "height=\"%.2f\"><title>client %d offline [%.6g, %.6g)"
+              "</title></rect>\n",
+              x0, y, std::max(0.5, x1 - x0), lane_h, lane.client, w.begin,
+              w.end);
+    }
+    for (const Span& s : lane.spans) {
+      const double x0 = x(s.begin);
+      const double x1 = x(s.end);
+      appendf(out,
+              "<rect class=\"%s\" x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" "
+              "height=\"%.2f\"><title>client %d %s [%.6g, %.6g] round %d"
+              "</title></rect>\n",
+              s.cls, x0, y + 0.5, std::max(0.5, x1 - x0), lane_h - 1.0,
+              lane.client, s.cls, s.begin, s.end, s.round);
+    }
+    for (const Marker& m : lane.drops) {
+      const double cx = x(m.time);
+      const double cy = y + lane_h * 0.5;
+      const double r = std::min(4.0, lane_h * 0.5);
+      appendf(out,
+              "<g class=\"dropg\"><line class=\"drop\" x1=\"%.2f\" "
+              "y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\"/><line class=\"drop\" "
+              "x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\"/>"
+              "<title>client %d update dropped at t=%.6g (round %d)</title>"
+              "</g>\n",
+              cx - r, cy - r, cx + r, cy + r, cx - r, cy + r, cx + r, cy - r,
+              lane.client, m.time, m.round);
+    }
+    if (i % label_stride == 0 || lane.attacker) {
+      appendf(out,
+              "<text class=\"lane-label%s\" x=\"%.2f\" y=\"%.2f\" "
+              "text-anchor=\"end\">%d%s</text>\n",
+              lane.attacker ? " attacker" : "", margin_left - 4.0,
+              y + lane_h * 0.5 + 3.0, lane.client, lane.attacker ? "!" : "");
+    }
+  }
+
+  // Server-side rules: aggregations (solid) and round barriers (dashed).
+  for (const Rule& rule : rules) {
+    const bool agg = rule.kind == SimEventKind::kAggregate;
+    const double rx = x(rule.time);
+    appendf(out,
+            "<line class=\"%s\" x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" "
+            "y2=\"%.2f\"><title>%s %d at t=%.6g</title></line>\n",
+            agg ? "agg" : "round", rx, margin_top, rx, margin_top + plot_h,
+            agg ? "aggregate" : "round end", rule.round, rule.time);
+  }
+
+  // Time axis.
+  const double axis_y = margin_top + plot_h + 4.0;
+  appendf(out,
+          "<line class=\"axis\" x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" "
+          "y2=\"%.2f\"/>\n",
+          margin_left, axis_y, margin_left + plot_w, axis_y);
+  const int num_ticks = 10;
+  for (int i = 0; i <= num_ticks; ++i) {
+    const double t = t0 + span_s * static_cast<double>(i) / num_ticks;
+    const double tx = x(t);
+    appendf(out,
+            "<line class=\"axis\" x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" "
+            "y2=\"%.2f\"/>\n",
+            tx, axis_y, tx, axis_y + 3.0);
+    appendf(out,
+            "<text class=\"tick\" x=\"%.2f\" y=\"%.2f\" "
+            "text-anchor=\"middle\">%.4g</text>\n",
+            tx, axis_y + 13.0, t);
+  }
+
+  out += "</svg>\n</div>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace fleda

@@ -1,0 +1,42 @@
+// SimTrace timeline visualizer: renders a SimReport's typed event
+// trace as one self-contained HTML page with an inline SVG Gantt —
+// one lane per client, colored spans for download / compute / upload,
+// gray bands for the client's offline windows, red cross markers for
+// dropped in-flight updates, tinted lanes for Byzantine clients, and
+// vertical rules at every aggregation and round barrier.
+//
+// Span reconstruction walks the trace in processing order: a client's
+// chain is anchored at its kDispatch note (async) or at the previous
+// round barrier (sync, whose schedules carry only the *Done events),
+// and each kDownlinkDone / kComputeDone / kUplinkDone closes one span
+// from the anchor. The output is byte-stable for a fixed trace: fixed
+// float formatting, ordered iteration, no timestamps — the obs tests
+// golden-file it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/profile.hpp"
+
+namespace fleda {
+
+struct TraceVizOptions {
+  std::string title = "fleda SimTrace";
+  int width_px = 1400;     // total SVG width, including label margin
+  int lane_height_px = 8;  // per-client lane height
+  // Hide clients with no trace events, no offline windows, and no
+  // attack profile (a K=1000 sampled-cohort run touches only dozens of
+  // clients per round); the header reports how many were hidden.
+  bool collapse_idle = true;
+};
+
+// Renders `report.trace` (which may be empty) against the scenario's
+// client profiles. `num_clients` bounds the lane set; profiles beyond
+// `config.profiles` are the default honest/online profile.
+std::string render_trace_html(const SimReport& report, const SimConfig& config,
+                              std::size_t num_clients,
+                              const TraceVizOptions& opts = {});
+
+}  // namespace fleda

@@ -88,6 +88,7 @@ SimReport SimEngine::report() const {
   SimReport report;
   report.total_time_s = clock_.now();
   report.events_processed = queue_.processed();
+  report.trace_start_s = trace_started_at_;
   report.trace = trace_;
   return report;
 }

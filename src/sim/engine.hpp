@@ -45,6 +45,10 @@ struct SimTraceEntry {
 struct SimReport {
   double total_time_s = 0.0;
   std::uint64_t events_processed = 0;
+  // Clock time at which tracing was (last) switched on. 0.0 when it was
+  // enabled before the run; a positive value flags that `trace` has no
+  // record of anything earlier — the gap is declared, not silent.
+  double trace_start_s = 0.0;
   std::vector<SimTraceEntry> trace;  // empty unless tracing was enabled
 };
 
@@ -86,7 +90,13 @@ class SimEngine {
   double compute_duration(std::size_t k, int steps) const;
 
   // Trace ----------------------------------------------------------
-  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  // Enabling mid-run starts recording from the current clock time; the
+  // moment is stamped into SimReport::trace_start_s so consumers (and
+  // the HTML visualizer) can tell a partial trace from a full one.
+  void set_trace_enabled(bool enabled) {
+    if (enabled && !trace_enabled_) trace_started_at_ = clock_.now();
+    trace_enabled_ = enabled;
+  }
   const std::vector<SimTraceEntry>& trace() const { return trace_; }
   std::uint64_t events_processed() const { return queue_.processed(); }
   SimReport report() const;
@@ -102,6 +112,7 @@ class SimEngine {
   SimClock clock_;
   EventQueue queue_;
   bool trace_enabled_ = false;
+  double trace_started_at_ = 0.0;
   std::vector<SimTraceEntry> trace_;
 };
 

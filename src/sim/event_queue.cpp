@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/profiler.hpp"
+
 namespace fleda {
 
 void SimClock::advance_to(double t) {
@@ -38,7 +40,10 @@ bool EventQueue::run_next(SimClock& clock) {
   clock.advance_to(entry.time);
   ++processed_;
   // The callback may schedule further events; it runs after the pop so
-  // the heap is consistent during reentrant schedule() calls.
+  // the heap is consistent during reentrant schedule() calls. The
+  // dispatch span covers the callback — nested phases (training, codec
+  // work triggered by the event) subtract out as child time.
+  ProfileScope dispatch(phase::kEventDispatch);
   if (entry.fn) entry.fn();
   return true;
 }

@@ -5,7 +5,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace fleda {
+
+void FederationSim::close_telemetry_round() {
+  if (telemetry_ == nullptr) return;
+  const std::vector<RoundCommStats>& rounds = channel_.stats().rounds;
+  if (rounds.empty()) return;  // nothing billed yet
+  const RoundCommStats& r = rounds.back();
+  telemetry_->close_round(r.round, engine_.now(), r.uplink_bytes,
+                          r.downlink_bytes);
+}
 
 std::vector<ClientLink> links_from_profiles(const SimConfig& config,
                                             std::size_t num_clients) {
@@ -62,6 +73,7 @@ void FederationSim::finish_sync_round(int steps,
   engine_.schedule(barrier, SimEventKind::kRoundEnd, /*client=*/-1, round);
   engine_.run_all();
   channel_.end_round(engine_.now() - t0);
+  close_telemetry_round();
 }
 
 void FederationSim::finish_local_round(int steps) {

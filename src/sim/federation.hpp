@@ -26,6 +26,8 @@
 
 namespace fleda {
 
+class TelemetrySink;
+
 // ClientProfile link overrides, as Channel link entries.
 std::vector<ClientLink> links_from_profiles(const SimConfig& config,
                                             std::size_t num_clients);
@@ -38,6 +40,15 @@ class FederationSim {
   Channel& channel() { return channel_; }
   SimEngine& engine() { return engine_; }
   double now() const { return engine_.now(); }
+
+  // Optional per-round telemetry (obs/telemetry.hpp). The round loops
+  // record cohort composition into the sink; close_telemetry_round()
+  // finalizes one record from the channel's latest round entry — the
+  // sync barrier calls it itself, event-driven algorithms call it after
+  // their own Channel::end_round. Null sink: all hooks are no-ops.
+  void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+  TelemetrySink* telemetry() const { return telemetry_; }
+  void close_telemetry_round();
 
   // Sync barrier over a cohort: schedules each member's (download ->
   // `steps` local steps -> upload) chain from the traffic billed this
@@ -53,6 +64,7 @@ class FederationSim {
  private:
   Channel& channel_;
   SimEngine& engine_;
+  TelemetrySink* telemetry_ = nullptr;
   int round_index_ = 0;
 };
 

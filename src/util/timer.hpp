@@ -1,25 +1,13 @@
 // Wall-clock timer for progress reporting in benches and examples.
+// Timer is now an alias of the profiler's StopWatch — the single
+// steady-clock wrapper in the codebase — so manual bench timings and
+// ProfileScope phase totals read the same clock by construction.
 #pragma once
 
-#include <chrono>
+#include "obs/profiler.hpp"
 
 namespace fleda {
 
-class Timer {
- public:
-  Timer() : start_(Clock::now()) {}
-
-  void reset() { start_ = Clock::now(); }
-
-  double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  double millis() const { return seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Timer = StopWatch;
 
 }  // namespace fleda
