@@ -4,10 +4,12 @@ previous successful main run's `bench-trajectory` artifact and fail on
 a >20% regression in the headline numbers.
 
 Gated metrics (current vs previous):
-  - BENCH_sim.json  events_per_sec                  must be >= 0.8x
-  - BENCH_sim.json  thousand_clients.round_host_ms  must be <= 1.2x
-  - BENCH_comm.json codecs[*].encode_mb_per_s       must be >= 0.8x
-  - BENCH_comm.json codecs[*].decode_mb_per_s       must be >= 0.8x
+  - BENCH_sim.json     events_per_sec                  must be >= 0.8x
+  - BENCH_sim.json     thousand_clients.round_host_ms  must be <= 1.2x
+  - BENCH_comm.json    codecs[*].encode_mb_per_s       must be >= 0.8x
+  - BENCH_comm.json    codecs[*].decode_mb_per_s       must be >= 0.8x
+  - BENCH_kernels.json shapes[*].auto_gflops           must be >= 0.8x
+  - BENCH_kernels.json plan_cache.hit_rate             must be >= 0.8x
 
 Stdlib only (urllib + zipfile against the GitHub REST API). The gate is
 advisory-by-absence: no GITHUB_TOKEN, no previous artifact, or an API
@@ -97,6 +99,10 @@ def codec_rows(bench):
     return {row["name"]: row for row in (bench or {}).get("codecs", [])}
 
 
+def shape_rows(bench):
+    return {row["name"]: row for row in (bench or {}).get("shapes", [])}
+
+
 def main():
     token = os.environ.get("GITHUB_TOKEN", "")
     repo = os.environ.get("GITHUB_REPOSITORY", "")
@@ -110,6 +116,8 @@ def main():
             sim_now = json.load(f)
         with open("BENCH_comm.json") as f:
             comm_now = json.load(f)
+        with open("BENCH_kernels.json") as f:
+            kernels_now = json.load(f)
     except OSError as e:
         print(f"perf_gate: FAIL - current bench output missing: {e}")
         sys.exit(1)
@@ -124,6 +132,7 @@ def main():
 
     sim_prev = baseline.get("BENCH_sim.json", {})
     comm_prev = baseline.get("BENCH_comm.json", {})
+    kernels_prev = baseline.get("BENCH_kernels.json", {})
 
     errors = []
     errors.append(check(
@@ -140,6 +149,17 @@ def main():
             errors.append(check(
                 f"comm.{name}.{metric}",
                 now_rows[name].get(metric), prev_rows[name].get(metric)))
+    now_shapes = shape_rows(kernels_now)
+    prev_shapes = shape_rows(kernels_prev)
+    for name in sorted(set(now_shapes) & set(prev_shapes)):
+        errors.append(check(
+            f"kernels.{name}.auto_gflops",
+            now_shapes[name].get("auto_gflops"),
+            prev_shapes[name].get("auto_gflops")))
+    errors.append(check(
+        "kernels.plan_cache.hit_rate",
+        kernels_now.get("plan_cache", {}).get("hit_rate"),
+        kernels_prev.get("plan_cache", {}).get("hit_rate")))
 
     errors = [e for e in errors if e is not None]
     if errors:

@@ -7,6 +7,7 @@
 #include "nn/init.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 #include "util/scratch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,7 +46,7 @@ std::pair<std::int64_t, std::int64_t> Conv2d::output_hw(std::int64_t h,
   return {g.out_height(), g.out_width()};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+Tensor Conv2d::forward(const Tensor& input, bool training) {
   if (input.shape().rank() != 4 || input.shape().dim(1) != opts_.in_channels) {
     throw std::invalid_argument("Conv2d " + name_ + ": bad input shape " +
                                 input.shape().to_string());
@@ -60,8 +61,22 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
     throw std::invalid_argument("Conv2d " + name_ + ": non-positive output");
   }
 
-  cached_input_ = input;
+  // Only a training pass needs the input for backward; an evaluation
+  // pass must not pin a batch-sized activation on the layer (at
+  // K = 1000 every client evaluates, and those tensors add up).
+  cached_input_ = training ? input : Tensor();
   Tensor output(Shape::of(N, opts_.out_channels, OH, OW));
+
+  // One plan for the whole step; when the planner picks the packed
+  // strategy, the weight panels are packed once here and shared
+  // read-only across the batch workers.
+  const GemmPlan plan = KernelPlanCache::global().plan_for(
+      GemmOp::kNN, opts_.out_channels, g.col_rows(), g.col_cols());
+  std::vector<float> wpack;
+  if (plan.strategy == GemmStrategy::kPacked) {
+    wpack.resize(packed_a_elems(plan));
+    pack_a(plan, weight_.value.data(), wpack.data());
+  }
 
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
@@ -76,9 +91,14 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
       im2col(input.data() + static_cast<std::int64_t>(n) * in_stride, g,
              cols);
       // y = W [Cout x rows] * cols [rows x OHW]
-      matmul(weight_.value.data(), cols,
-             output.data() + static_cast<std::int64_t>(n) * out_stride,
-             opts_.out_channels, g.col_rows(), g.col_cols());
+      float* out_n = output.data() + static_cast<std::int64_t>(n) * out_stride;
+      if (plan.strategy == GemmStrategy::kPacked) {
+        gemm_packed_prepacked_a(plan, wpack.data(), cols, out_n,
+                                /*accumulate=*/false);
+      } else {
+        matmul_reference(weight_.value.data(), cols, out_n,
+                         opts_.out_channels, g.col_rows(), g.col_cols());
+      }
       if (opts_.bias) {
         float* out = output.data() + static_cast<std::int64_t>(n) * out_stride;
         for (std::int64_t co = 0; co < opts_.out_channels; ++co) {
@@ -112,6 +132,17 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
 
+  // dcols reuses the weight across the whole batch: plan once, prepack
+  // once when packed. dW's GEMM has a per-sample A (dy), so it goes
+  // through the dispatching matmul_bt below.
+  const GemmPlan dx_plan = KernelPlanCache::global().plan_for(
+      GemmOp::kAT, g.col_rows(), opts_.out_channels, g.col_cols());
+  std::vector<float> wpack;
+  if (dx_plan.strategy == GemmStrategy::kPacked) {
+    wpack.resize(packed_a_elems(dx_plan));
+    pack_a(dx_plan, weight_.value.data(), wpack.data());
+  }
+
   // Batch-parallel over a FIXED number of slices (independent of the
   // thread-pool size), each with its own dW/db partial, reduced
   // serially in slice order below. Both properties matter: a per-chunk
@@ -141,8 +172,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
         matmul_bt(dy, cols, dw_partial[s].data(), opts_.out_channels,
                   g.col_cols(), g.col_rows(), /*accumulate=*/true);
         // dcols = W^T [rows x Cout] * dy [Cout x OHW]
-        matmul_at(weight_.value.data(), dy, dcols, g.col_rows(),
-                  opts_.out_channels, g.col_cols());
+        if (dx_plan.strategy == GemmStrategy::kPacked) {
+          gemm_packed_prepacked_a(dx_plan, wpack.data(), dy, dcols,
+                                  /*accumulate=*/false);
+        } else {
+          matmul_at_reference(weight_.value.data(), dy, dcols, g.col_rows(),
+                              opts_.out_channels, g.col_cols());
+        }
         col2im(dcols, g,
                grad_input.data() + static_cast<std::int64_t>(n) * in_stride);
         if (opts_.bias) {

@@ -7,6 +7,7 @@
 #include "nn/init.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 #include "util/scratch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,7 +41,7 @@ ConvGeometry ConvTranspose2d::out_geometry(std::int64_t out_h,
   return g;
 }
 
-Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
+Tensor ConvTranspose2d::forward(const Tensor& input, bool training) {
   if (input.shape().rank() != 4 || input.shape().dim(1) != opts_.in_channels) {
     throw std::invalid_argument("ConvTranspose2d " + name_ +
                                 ": bad input shape " +
@@ -61,8 +62,18 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
                            ": geometry inversion failed");
   }
 
-  cached_input_ = input;
+  // See Conv2d::forward: eval passes must not pin the activation.
+  cached_input_ = training ? input : Tensor();
   Tensor output(Shape::of(N, opts_.out_channels, OH, OW));
+
+  // Plan once per step; prepack the shared weight when packed.
+  const GemmPlan plan = KernelPlanCache::global().plan_for(
+      GemmOp::kAT, g.col_rows(), opts_.in_channels, g.col_cols());
+  std::vector<float> wpack;
+  if (plan.strategy == GemmStrategy::kPacked) {
+    wpack.resize(packed_a_elems(plan));
+    pack_a(plan, weight_.value.data(), wpack.data());
+  }
 
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
@@ -73,9 +84,15 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
         static_cast<std::size_t>(g.col_rows() * g.col_cols()));
     for (std::size_t n = nb; n < ne; ++n) {
       // cols = W^T [Cout*k*k x Cin] * x [Cin x H*W]
-      matmul_at(weight_.value.data(),
-                input.data() + static_cast<std::int64_t>(n) * in_stride,
-                cols, g.col_rows(), opts_.in_channels, g.col_cols());
+      const float* x_n =
+          input.data() + static_cast<std::int64_t>(n) * in_stride;
+      if (plan.strategy == GemmStrategy::kPacked) {
+        gemm_packed_prepacked_a(plan, wpack.data(), x_n, cols,
+                                /*accumulate=*/false);
+      } else {
+        matmul_at_reference(weight_.value.data(), x_n, cols, g.col_rows(),
+                            opts_.in_channels, g.col_cols());
+      }
       // scatter-add columns into the (zeroed) output image
       col2im(cols, g,
              output.data() + static_cast<std::int64_t>(n) * out_stride);
@@ -114,6 +131,16 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const std::int64_t in_stride = opts_.in_channels * H * W;
   const std::int64_t out_stride = opts_.out_channels * OH * OW;
 
+  // dx reuses the weight across the batch: plan once, prepack once when
+  // packed. dW's per-sample-A GEMM dispatches through matmul_bt.
+  const GemmPlan dx_plan = KernelPlanCache::global().plan_for(
+      GemmOp::kNN, opts_.in_channels, g.col_rows(), g.col_cols());
+  std::vector<float> wpack;
+  if (dx_plan.strategy == GemmStrategy::kPacked) {
+    wpack.resize(packed_a_elems(dx_plan));
+    pack_a(dx_plan, weight_.value.data(), wpack.data());
+  }
+
   // Fixed-slice partials, reduced in slice order (see Conv2d::backward
   // for why a pool-size-dependent mutex merge would be
   // nondeterministic).
@@ -135,9 +162,15 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
         // dcols = im2col(dy) (adjoint of the forward col2im)
         im2col(dy, g, dcols);
         // dx = W [Cin x Cout*k*k] * dcols [Cout*k*k x H*W]
-        matmul(weight_.value.data(), dcols,
-               grad_input.data() + static_cast<std::int64_t>(n) * in_stride,
-               opts_.in_channels, g.col_rows(), g.col_cols());
+        float* dx_n =
+            grad_input.data() + static_cast<std::int64_t>(n) * in_stride;
+        if (dx_plan.strategy == GemmStrategy::kPacked) {
+          gemm_packed_prepacked_a(dx_plan, wpack.data(), dcols, dx_n,
+                                  /*accumulate=*/false);
+        } else {
+          matmul_reference(weight_.value.data(), dcols, dx_n,
+                           opts_.in_channels, g.col_rows(), g.col_cols());
+        }
         // dW_s += x [Cin x H*W] * dcols^T
         matmul_bt(input.data() + static_cast<std::int64_t>(n) * in_stride,
                   dcols, dw_partial[s].data(), opts_.in_channels,

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/plan.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fleda {
@@ -20,15 +21,18 @@ inline void axpy4(float* crow, const float* a4, const float* b0,
   }
 }
 
+// No a == 0 shortcut: 0 * NaN must stay NaN. Skipping the row would
+// silently drop non-finite values arriving through B, and the planner's
+// strategies must agree exactly on which inputs poison the output.
 inline void axpy1(float* crow, float a, const float* brow, std::int64_t n) {
-  if (a == 0.0f) return;
   for (std::int64_t j = 0; j < n; ++j) crow[j] += a * brow[j];
 }
 
 }  // namespace
 
-void matmul(const float* a, const float* b, float* c, std::int64_t m,
-            std::int64_t k, std::int64_t n, bool accumulate) {
+void matmul_reference(const float* a, const float* b, float* c,
+                      std::int64_t m, std::int64_t k, std::int64_t n,
+                      bool accumulate) {
   parallel_for(
       static_cast<std::size_t>(m),
       [&](std::size_t begin, std::size_t end) {
@@ -47,8 +51,9 @@ void matmul(const float* a, const float* b, float* c, std::int64_t m,
       /*grain=*/4);
 }
 
-void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n, bool accumulate) {
+void matmul_at_reference(const float* a, const float* b, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         bool accumulate) {
   // C[i,j] = sum_p A[p,i] * B[p,j] with A stored [k,m].
   parallel_for(
       static_cast<std::size_t>(m),
@@ -74,8 +79,9 @@ void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
       /*grain=*/4);
 }
 
-void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
-               std::int64_t k, std::int64_t n, bool accumulate) {
+void matmul_bt_reference(const float* a, const float* b, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         bool accumulate) {
   // C[i,j] = sum_p A[i,p] * B[j,p]; contiguous dot products with four
   // independent accumulators for instruction-level parallelism.
   parallel_for(
@@ -105,6 +111,42 @@ void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
         }
       },
       /*grain=*/4);
+}
+
+// Planner dispatch: one cached-plan lookup, then the strategy the cost
+// model picked for this shape.
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t k, std::int64_t n, bool accumulate) {
+  const GemmPlan plan =
+      KernelPlanCache::global().plan_for(GemmOp::kNN, m, k, n);
+  if (plan.strategy == GemmStrategy::kPacked) {
+    gemm_packed(plan, a, b, c, accumulate);
+    return;
+  }
+  matmul_reference(a, b, c, m, k, n, accumulate);
+}
+
+void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  const GemmPlan plan =
+      KernelPlanCache::global().plan_for(GemmOp::kAT, m, k, n);
+  if (plan.strategy == GemmStrategy::kPacked) {
+    gemm_packed(plan, a, b, c, accumulate);
+    return;
+  }
+  matmul_at_reference(a, b, c, m, k, n, accumulate);
+}
+
+void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t k, std::int64_t n, bool accumulate) {
+  const GemmPlan plan =
+      KernelPlanCache::global().plan_for(GemmOp::kBT, m, k, n);
+  if (plan.strategy == GemmStrategy::kPacked) {
+    gemm_packed(plan, a, b, c, accumulate);
+    return;
+  }
+  matmul_bt_reference(a, b, c, m, k, n, accumulate);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -2,6 +2,13 @@
 // float buffers described by (rows, cols); these are the hot kernels
 // behind im2col-based convolution, so they avoid Tensor overhead and
 // work on raw pointers.
+//
+// The public matmul / matmul_at / matmul_bt entry points dispatch
+// through the shape-keyed KernelPlanCache (tensor/plan.hpp): skinny
+// shapes run the historical axpy kernels, fat shapes run the packed
+// cache-blocked GEMM. The *_reference variants are the historical
+// kernels verbatim — the planner's baseline strategy, also exposed for
+// equivalence tests and the micro_kernels bench.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,17 @@ void matmul_at(const float* a, const float* b, float* c, std::int64_t m,
 // C[m,n] = A[m,k] * B^T[k,n] where B is stored as [n,k].
 void matmul_bt(const float* a, const float* b, float* c, std::int64_t m,
                std::int64_t k, std::int64_t n, bool accumulate = false);
+
+// The historical unblocked kernels, bypassing the planner.
+void matmul_reference(const float* a, const float* b, float* c,
+                      std::int64_t m, std::int64_t k, std::int64_t n,
+                      bool accumulate = false);
+void matmul_at_reference(const float* a, const float* b, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         bool accumulate = false);
+void matmul_bt_reference(const float* a, const float* b, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t n,
+                         bool accumulate = false);
 
 // Tensor convenience wrapper: a is [m,k], b is [k,n], returns [m,n].
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,289 @@
+#include "tensor/plan.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+
+#include "obs/profiler.hpp"
+
+namespace fleda {
+namespace {
+
+// Cost-model cache sizes. Deliberately compile-time constants (not
+// probed from the host) so a plan — and therefore every result bit —
+// is a pure function of the GEMM shape.
+constexpr std::int64_t kL1Bytes = 32 * 1024;
+constexpr std::int64_t kL2Bytes = 1024 * 1024;
+
+std::int64_t round_up(std::int64_t v, std::int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+std::int64_t round_down(std::int64_t v, std::int64_t to) {
+  return v / to * to;
+}
+
+std::atomic<int> g_plan_mode{-1};  // -1 = not yet read from env
+
+PlanMode mode_from_env() {
+  const char* env = std::getenv("FLEDA_PLAN");
+  if (env != nullptr && std::string(env) == "reference") {
+    return PlanMode::kReference;
+  }
+  return PlanMode::kAuto;  // default; unknown values fall back to auto
+}
+
+}  // namespace
+
+const char* to_string(GemmOp op) {
+  switch (op) {
+    case GemmOp::kNN:
+      return "nn";
+    case GemmOp::kAT:
+      return "at";
+    case GemmOp::kBT:
+      return "bt";
+  }
+  return "?";
+}
+
+const char* to_string(GemmStrategy strategy) {
+  switch (strategy) {
+    case GemmStrategy::kReference:
+      return "reference";
+    case GemmStrategy::kPacked:
+      return "packed";
+  }
+  return "?";
+}
+
+PlanMode plan_mode() {
+  int mode = g_plan_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(mode_from_env());
+    g_plan_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<PlanMode>(mode);
+}
+
+void set_plan_mode(PlanMode mode) {
+  g_plan_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+std::string GemmPlan::to_string() const {
+  std::string s = "gemm(";
+  s += fleda::to_string(shape.op);
+  s += ", m=" + std::to_string(shape.m) + ", k=" + std::to_string(shape.k) +
+       ", n=" + std::to_string(shape.n) + ") -> ";
+  s += fleda::to_string(strategy);
+  if (strategy == GemmStrategy::kPacked) {
+    s += "{mc=" + std::to_string(mc) + ", kc=" + std::to_string(kc) +
+         ", nc=" + std::to_string(nc) + "}";
+  }
+  return s;
+}
+
+GemmPlan make_gemm_plan(GemmOp op, std::int64_t m, std::int64_t k,
+                        std::int64_t n) {
+  GemmPlan plan;
+  plan.shape = GemmShape{op, m, k, n};
+  plan.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+
+  // Packing pays for itself only when the B panels are reused across
+  // several MR row-panels and the accumulator tile runs long enough in
+  // k. Skinny shapes (vector-matrix products, rank-1 updates, tiny
+  // tails) stay on the reference axpy/dot kernels, which stream those
+  // shapes at close to memory speed already — and at k < ~48 the
+  // reference kernels keep the whole B slab L1-resident per output row,
+  // which packing cannot beat (measured: the k=32 deconv GEMM runs
+  // 20% faster on reference).
+  const bool fat = m >= 2 * kGemmMR && n >= 2 * kGemmNR && k >= 48 &&
+                   m * k * n >= 32 * 1024;
+  if (!fat) {
+    plan.strategy = GemmStrategy::kReference;
+    return plan;
+  }
+
+  plan.strategy = GemmStrategy::kPacked;
+  // KC: one A micro-panel (MR*kc) plus one B micro-panel (NR*kc) of
+  // floats should fit in L1 with room to spare for the C tile and the
+  // streamed cache lines.
+  const std::int64_t kc_budget =
+      kL1Bytes / (static_cast<std::int64_t>(sizeof(float)) *
+                  (kGemmMR + kGemmNR));
+  plan.kc = std::min<std::int64_t>(k, round_down(kc_budget, 8));
+  if (plan.kc < 8) plan.kc = std::min<std::int64_t>(k, 8);
+  // NC: the packed B block (kc x nc floats) should occupy at most half
+  // of L2, so it survives the sweep over all row panels.
+  std::int64_t nc_budget =
+      (kL2Bytes / 2) / (static_cast<std::int64_t>(sizeof(float)) * plan.kc);
+  nc_budget = round_down(nc_budget, kGemmNR);
+  if (nc_budget < kGemmNR) nc_budget = kGemmNR;
+  plan.nc = std::min<std::int64_t>(round_up(n, kGemmNR), nc_budget);
+  // MC: the row-panel span handed to one parallel_for chunk; MR-aligned
+  // so partitions never split a micro-panel.
+  plan.mc = std::min<std::int64_t>(round_up(m, kGemmMR), 96);
+  return plan;
+}
+
+// --------------------------------------------------------------------
+// KernelPlanCache
+
+namespace {
+
+constexpr std::size_t kNumShards = 8;
+
+std::size_t shard_index(const GemmShape& s) {
+  // FNV-1a over the shape fields; shard by the low bits.
+  std::uint64_t h = 1469598103934665603ull;
+  const std::uint64_t fields[4] = {
+      static_cast<std::uint64_t>(s.op), static_cast<std::uint64_t>(s.m),
+      static_cast<std::uint64_t>(s.k), static_cast<std::uint64_t>(s.n)};
+  for (std::uint64_t f : fields) {
+    h ^= f;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % kNumShards);
+}
+
+// Per-thread memo of the most recent plans: the per-sample GEMM loops
+// of a conv layer hit the same handful of shapes thousands of times,
+// and this keeps even the shared-lock acquisition off that path. The
+// epoch invalidates every memo when a cache is cleared.
+struct PlanMemoEntry {
+  const void* cache = nullptr;
+  std::uint64_t epoch = 0;
+  GemmShape shape;
+  GemmPlan plan;
+  bool valid = false;
+};
+
+constexpr std::size_t kMemoSlots = 4;
+
+thread_local PlanMemoEntry t_plan_memo[kMemoSlots];
+thread_local std::size_t t_plan_memo_next = 0;
+
+std::atomic<std::uint64_t> g_plan_epoch{1};
+
+}  // namespace
+
+struct KernelPlanCache::Shard {
+  mutable std::shared_mutex mutex;
+  // Insertion-ordered (deque front = oldest) for FIFO eviction; linear
+  // search is fine at these sizes (a run holds tens of shapes).
+  std::deque<std::pair<GemmShape, GemmPlan>> entries;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+};
+
+KernelPlanCache::KernelPlanCache(std::size_t capacity_per_shard)
+    : shards_(new Shard[kNumShards]),
+      capacity_per_shard_(capacity_per_shard > 0 ? capacity_per_shard : 1) {}
+
+KernelPlanCache::~KernelPlanCache() {
+  delete[] shards_;
+  // A later cache may reuse this address; the epoch bump keeps stale
+  // thread-local memo entries from answering for it.
+  g_plan_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+KernelPlanCache& KernelPlanCache::global() {
+  static KernelPlanCache cache;
+  return cache;
+}
+
+GemmPlan KernelPlanCache::lookup_or_plan(const GemmShape& shape) {
+  Shard& shard = shards_[shard_index(shape)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    for (const auto& entry : shard.entries) {
+      if (entry.first == shape) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        return entry.second;
+      }
+    }
+  }
+  // Miss: plan outside any lock (the cost model is pure), then insert
+  // under the exclusive lock, rechecking for a racing inserter.
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  GemmPlan plan;
+  {
+    ProfileScope planning(phase::kKernelPlan);
+    plan = make_gemm_plan(shape.op, shape.m, shape.k, shape.n);
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  for (const auto& entry : shard.entries) {
+    if (entry.first == shape) return entry.second;
+  }
+  shard.entries.emplace_back(shape, plan);
+  while (shard.entries.size() > capacity_per_shard_) {
+    shard.entries.pop_front();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+GemmPlan KernelPlanCache::plan_for(GemmOp op, std::int64_t m, std::int64_t k,
+                                   std::int64_t n) {
+  if (plan_mode() == PlanMode::kReference) {
+    GemmPlan plan;
+    plan.shape = GemmShape{op, m, k, n};
+    plan.strategy = GemmStrategy::kReference;
+    plan.flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                 static_cast<double>(n);
+    return plan;
+  }
+  const GemmShape shape{op, m, k, n};
+  const std::uint64_t epoch = g_plan_epoch.load(std::memory_order_acquire);
+  for (const PlanMemoEntry& memo : t_plan_memo) {
+    if (memo.valid && memo.cache == this && memo.epoch == epoch &&
+        memo.shape == shape) {
+      // A memo hit is logically a cache hit; one relaxed add keeps the
+      // stats honest without taking any lock.
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return memo.plan;
+    }
+  }
+  GemmPlan plan = lookup_or_plan(shape);
+  PlanMemoEntry& slot = t_plan_memo[t_plan_memo_next];
+  t_plan_memo_next = (t_plan_memo_next + 1) % kMemoSlots;
+  slot.cache = this;
+  slot.epoch = epoch;
+  slot.shape = shape;
+  slot.plan = plan;
+  slot.valid = true;
+  return plan;
+}
+
+PlanCacheStats KernelPlanCache::stats() const {
+  PlanCacheStats stats;
+  stats.hits = memo_hits_.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < kNumShards; ++s) {
+    const Shard& shard = shards_[s];
+    stats.hits += shard.hits.load(std::memory_order_relaxed);
+    stats.misses += shard.misses.load(std::memory_order_relaxed);
+    stats.evictions += shard.evictions.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    stats.entries += shard.entries.size();
+  }
+  return stats;
+}
+
+void KernelPlanCache::clear() {
+  for (std::size_t s = 0; s < kNumShards; ++s) {
+    Shard& shard = shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.evictions.store(0, std::memory_order_relaxed);
+  }
+  memo_hits_.store(0, std::memory_order_relaxed);
+  g_plan_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace fleda

@@ -1,12 +1,35 @@
 #include "util/scratch.hpp"
 
+#include <cstdint>
+
 namespace fleda {
+namespace {
+
+std::vector<float>& slot_buffer(ScratchSlot slot) {
+  thread_local std::vector<float> buffers[kNumScratchSlots];
+  return buffers[static_cast<int>(slot)];
+}
+
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignFloats = kAlignBytes / sizeof(float);
+
+}  // namespace
 
 float* thread_scratch(ScratchSlot slot, std::size_t n) {
-  thread_local std::vector<float> buffers[3];
-  auto& buf = buffers[static_cast<int>(slot)];
+  auto& buf = slot_buffer(slot);
   if (buf.size() < n) buf.resize(n);
   return buf.data();
+}
+
+float* thread_scratch_aligned(ScratchSlot slot, std::size_t n) {
+  // Over-allocate one alignment quantum and round the pointer up; the
+  // buffer grows monotonically so the aligned base is stable until the
+  // next larger request.
+  auto& buf = slot_buffer(slot);
+  if (buf.size() < n + kAlignFloats) buf.resize(n + kAlignFloats);
+  auto addr = reinterpret_cast<std::uintptr_t>(buf.data());
+  const std::uintptr_t aligned = (addr + kAlignBytes - 1) & ~(kAlignBytes - 1);
+  return reinterpret_cast<float*>(aligned);
 }
 
 }  // namespace fleda

@@ -1,8 +1,8 @@
 // Thread-local scratch buffers for kernel intermediates (im2col column
-// matrices and their gradients). Convolution layers need multi-MB
-// temporaries per call; allocating them fresh each step costs more in
-// page faults and zero-fill than the math itself. Buffers persist per
-// thread and per slot, growing monotonically.
+// matrices, their gradients, and the packed GEMM panels). Convolution
+// layers need multi-MB temporaries per call; allocating them fresh each
+// step costs more in page faults and zero-fill than the math itself.
+// Buffers persist per thread and per slot, growing monotonically.
 #pragma once
 
 #include <cstddef>
@@ -14,11 +14,20 @@ enum class ScratchSlot : int {
   kCols = 0,
   kColsGrad = 1,
   kAux = 2,
+  kPackA = 3,  // packed A micro-panels (gemm_packed)
+  kPackB = 4,  // packed B panel block (gemm_packed)
 };
+
+inline constexpr int kNumScratchSlots = 5;
 
 // Returns a thread-local float buffer of at least `n` elements for the
 // given slot. Contents are unspecified — callers must fully overwrite
 // (or explicitly zero) what they read.
 float* thread_scratch(ScratchSlot slot, std::size_t n);
+
+// Same, but the returned pointer is 64-byte aligned (cache-line /
+// vector-register friendly — the packed GEMM panels want this so the
+// compiler's vectorized loads never straddle lines).
+float* thread_scratch_aligned(ScratchSlot slot, std::size_t n);
 
 }  // namespace fleda

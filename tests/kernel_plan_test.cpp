@@ -1,0 +1,370 @@
+// Tests for the shape-keyed kernel planner: the packed cache-blocked
+// GEMM must agree with the reference kernels to float tolerance over a
+// shape sweep (including the degenerate and tail shapes the packing
+// zero-pads), the auto plan must be bit-identical across thread-pool
+// sizes, the plan cache must count hits/misses/evictions correctly
+// under concurrent lookups, and FLEDA_PLAN=reference must make a full
+// training step use the historical kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "models/flnet.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/plan.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fleda {
+namespace {
+
+// Restores auto mode even when a test body throws.
+struct PlanModeGuard {
+  explicit PlanModeGuard(PlanMode mode) { set_plan_mode(mode); }
+  ~PlanModeGuard() { set_plan_mode(PlanMode::kAuto); }
+};
+
+std::vector<float> random_vec(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+// The reference kernels double as the oracle: their agreement with a
+// naive triple loop is already covered by tensor_test.
+void run_reference(GemmOp op, const float* a, const float* b, float* c,
+                   std::int64_t m, std::int64_t k, std::int64_t n,
+                   bool accumulate) {
+  switch (op) {
+    case GemmOp::kNN:
+      matmul_reference(a, b, c, m, k, n, accumulate);
+      return;
+    case GemmOp::kAT:
+      matmul_at_reference(a, b, c, m, k, n, accumulate);
+      return;
+    case GemmOp::kBT:
+      matmul_bt_reference(a, b, c, m, k, n, accumulate);
+      return;
+  }
+}
+
+// A packed plan for any shape, bypassing the cost model so the sweep
+// can push degenerate shapes (m=1, n=1, k<4 tails) through the packed
+// path that the planner would normally route to reference.
+GemmPlan forced_packed_plan(GemmOp op, std::int64_t m, std::int64_t k,
+                            std::int64_t n) {
+  GemmPlan plan = make_gemm_plan(op, m, k, n);
+  if (plan.strategy == GemmStrategy::kPacked) return plan;
+  plan.strategy = GemmStrategy::kPacked;
+  plan.kc = std::min<std::int64_t>(k, 64);
+  plan.nc = std::min<std::int64_t>((n + kGemmNR - 1) / kGemmNR * kGemmNR,
+                                   8 * kGemmNR);
+  plan.mc = std::min<std::int64_t>((m + kGemmMR - 1) / kGemmMR * kGemmMR, 96);
+  return plan;
+}
+
+float max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(GemmPacked, MatchesReferenceOverShapeSweep) {
+  // Odd sizes, k<4 tails, single-row/column degenerates, and fat
+  // shapes the cost model itself would pack.
+  const struct {
+    std::int64_t m, k, n;
+  } shapes[] = {{1, 7, 33},   {5, 3, 17},  {4, 16, 16},  {7, 81, 19},
+                {64, 162, 64}, {33, 65, 47}, {13, 2, 130}, {96, 100, 1},
+                {1, 5184, 64}, {50, 486, 256}};
+  Rng rng(7);
+  for (GemmOp op : {GemmOp::kNN, GemmOp::kAT, GemmOp::kBT}) {
+    for (const auto& s : shapes) {
+      for (bool accumulate : {false, true}) {
+        std::vector<float> a =
+            random_vec(static_cast<std::size_t>(s.m * s.k), rng);
+        std::vector<float> b =
+            random_vec(static_cast<std::size_t>(s.k * s.n), rng);
+        std::vector<float> seed =
+            random_vec(static_cast<std::size_t>(s.m * s.n), rng);
+        std::vector<float> want = seed;
+        std::vector<float> got = seed;
+        run_reference(op, a.data(), b.data(), want.data(), s.m, s.k, s.n,
+                      accumulate);
+        const GemmPlan plan = forced_packed_plan(op, s.m, s.k, s.n);
+        gemm_packed(plan, a.data(), b.data(), got.data(), accumulate);
+        // Summation-order error grows ~sqrt(k) for fp32 dot products of
+        // unit-scale values; 1e-5 is the per-accumulation budget.
+        const float tolerance =
+            1e-5f * std::max(1.0f, std::sqrt(static_cast<float>(s.k)));
+        EXPECT_LE(max_abs_diff(want, got), tolerance)
+            << plan.to_string() << " accumulate=" << accumulate;
+      }
+    }
+  }
+}
+
+TEST(GemmPacked, PrepackedAMatchesOnTheFlyPacking) {
+  Rng rng(11);
+  for (GemmOp op : {GemmOp::kNN, GemmOp::kAT}) {
+    const std::int64_t m = 37, k = 120, n = 50;
+    const GemmPlan plan = forced_packed_plan(op, m, k, n);
+    std::vector<float> a = random_vec(static_cast<std::size_t>(m * k), rng);
+    std::vector<float> b = random_vec(static_cast<std::size_t>(k * n), rng);
+    std::vector<float> direct(static_cast<std::size_t>(m * n), 0.0f);
+    std::vector<float> pre(static_cast<std::size_t>(m * n), 0.0f);
+    gemm_packed(plan, a.data(), b.data(), direct.data(), false);
+    std::vector<float> apack(packed_a_elems(plan));
+    pack_a(plan, a.data(), apack.data());
+    gemm_packed_prepacked_a(plan, apack.data(), b.data(), pre.data(), false);
+    // Same plan, same packing layout: identical summation order, so the
+    // two paths must agree bit for bit.
+    EXPECT_EQ(0, std::memcmp(direct.data(), pre.data(),
+                             pre.size() * sizeof(float)))
+        << plan.to_string();
+  }
+}
+
+TEST(GemmPacked, BitIdenticalAcrossThreadPoolSizes) {
+  Rng rng(13);
+  const std::int64_t m = 64, k = 162, n = 256;  // cost model picks packed
+  std::vector<float> a = random_vec(static_cast<std::size_t>(m * k), rng);
+  std::vector<float> b = random_vec(static_cast<std::size_t>(k * n), rng);
+  ASSERT_EQ(make_gemm_plan(GemmOp::kNN, m, k, n).strategy,
+            GemmStrategy::kPacked);
+  std::vector<std::vector<float>> results;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::reset_global(threads);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    matmul(a.data(), b.data(), c.data(), m, k, n);
+    results.push_back(std::move(c));
+  }
+  ThreadPool::reset_global(0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(results[0].data(), results[i].data(),
+                             results[0].size() * sizeof(float)))
+        << "pool size index " << i;
+  }
+}
+
+TEST(GemmPacked, ConvForwardBackwardBitIdenticalAcrossPoolSizes) {
+  // End to end through Conv2d: the planner picks packed for this shape
+  // and the fixed MR row partition + fixed dW slices must keep both
+  // directions bit-identical whatever the pool size.
+  Conv2dOptions opts;
+  opts.in_channels = 2;
+  opts.out_channels = 64;
+  opts.kernel = 9;
+  opts.same_padding();
+  std::vector<Tensor> weights, grads;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::reset_global(threads);
+    Rng rng(21);
+    Conv2d conv("c", opts, rng);
+    Tensor x(Shape::of(2, 2, 16, 16));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    Tensor y = conv.forward(x, true);
+    conv.backward(y);  // any upstream grad works; y is deterministic
+    weights.push_back(y);
+    grads.push_back(conv.weight().grad);
+  }
+  ThreadPool::reset_global(0);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(weights[0].data(), weights[i].data(),
+                             static_cast<std::size_t>(weights[0].numel()) *
+                                 sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(grads[0].data(), grads[i].data(),
+                             static_cast<std::size_t>(grads[0].numel()) *
+                                 sizeof(float)));
+  }
+}
+
+TEST(CostModel, SkinnyShapesStayOnReference) {
+  // Vector-matrix products, tiny tails, and single-output-channel
+  // convs (FLNet's output conv has m=1) must not pay for packing.
+  EXPECT_EQ(make_gemm_plan(GemmOp::kNN, 1, 5184, 4096).strategy,
+            GemmStrategy::kReference);
+  EXPECT_EQ(make_gemm_plan(GemmOp::kNN, 4, 3, 4).strategy,
+            GemmStrategy::kReference);
+  EXPECT_EQ(make_gemm_plan(GemmOp::kBT, 64, 8, 64).strategy,
+            GemmStrategy::kReference);
+}
+
+TEST(CostModel, FatShapesPackWithSaneBlocking) {
+  for (const GemmPlan& plan :
+       {make_gemm_plan(GemmOp::kNN, 64, 486, 1024),
+        make_gemm_plan(GemmOp::kAT, 486, 64, 1024),
+        make_gemm_plan(GemmOp::kBT, 64, 1024, 486)}) {
+    EXPECT_EQ(plan.strategy, GemmStrategy::kPacked) << plan.to_string();
+    EXPECT_GE(plan.kc, 8) << plan.to_string();
+    EXPECT_LE(plan.kc, plan.shape.k) << plan.to_string();
+    EXPECT_EQ(plan.nc % kGemmNR, 0) << plan.to_string();
+    EXPECT_EQ(plan.mc % kGemmMR, 0) << plan.to_string();
+  }
+}
+
+TEST(KernelPlanCache, CountsHitsMissesAndEntries) {
+  KernelPlanCache cache(/*capacity_per_shard=*/4);
+  const GemmPlan first = cache.plan_for(GemmOp::kNN, 64, 486, 1024);
+  EXPECT_EQ(first.strategy, GemmStrategy::kPacked);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  for (int i = 0; i < 5; ++i) {
+    const GemmPlan again = cache.plan_for(GemmOp::kNN, 64, 486, 1024);
+    EXPECT_EQ(again.strategy, first.strategy);
+    EXPECT_EQ(again.kc, first.kc);
+  }
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(KernelPlanCache, EvictsOldestBeyondCapacity) {
+  KernelPlanCache cache(/*capacity_per_shard=*/1);
+  // 32 distinct shapes over 8 shards of capacity 1: at most 8 survive.
+  for (std::int64_t i = 0; i < 32; ++i) {
+    cache.plan_for(GemmOp::kNN, 8 + i, 64, 64);
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 32u);
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 32u - stats.entries);
+  // An evicted shape replans: still correct, counted as a fresh miss.
+  const GemmPlan replanned = cache.plan_for(GemmOp::kNN, 8, 64, 64);
+  EXPECT_EQ(replanned.shape.m, 8);
+}
+
+TEST(KernelPlanCache, ClearInvalidatesThreadLocalMemo) {
+  KernelPlanCache cache;
+  cache.plan_for(GemmOp::kNN, 64, 486, 1024);
+  cache.plan_for(GemmOp::kNN, 64, 486, 1024);  // memo hit
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.clear();
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  // The stale memo entry must not satisfy this lookup.
+  cache.plan_for(GemmOp::kNN, 64, 486, 1024);
+  stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(KernelPlanCache, ConcurrentLookupsAgreeAndCountEveryCall) {
+  ThreadPool::reset_global(8);
+  KernelPlanCache cache;
+  const std::size_t iterations = 2048;
+  std::atomic<int> bad{0};
+  parallel_for(iterations, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Four shapes cycling per index: every thread hammers the same
+      // shard entries it shares with the others.
+      const std::int64_t m = 16 << (i % 4);
+      const GemmPlan plan = cache.plan_for(GemmOp::kNN, m, 486, 1024);
+      const GemmPlan want = make_gemm_plan(GemmOp::kNN, m, 486, 1024);
+      if (plan.strategy != want.strategy || plan.kc != want.kc ||
+          plan.nc != want.nc || plan.mc != want.mc) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  ThreadPool::reset_global(0);
+  EXPECT_EQ(bad.load(), 0);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, iterations);
+  EXPECT_EQ(stats.entries, 4u);
+  // Racing first lookups may each count a miss; the cache still holds
+  // one entry per shape.
+  EXPECT_GE(stats.misses, 4u);
+}
+
+TEST(PlanMode, ReferenceModeBypassesCacheAndMatchesReferenceBits) {
+  PlanModeGuard guard(PlanMode::kReference);
+  const PlanCacheStats before = KernelPlanCache::global().stats();
+  Rng rng(31);
+  const std::int64_t m = 64, k = 486, n = 256;
+  std::vector<float> a = random_vec(static_cast<std::size_t>(m * k), rng);
+  std::vector<float> b = random_vec(static_cast<std::size_t>(k * n), rng);
+  std::vector<float> via_dispatch(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> direct(static_cast<std::size_t>(m * n), 0.0f);
+  matmul(a.data(), b.data(), via_dispatch.data(), m, k, n);
+  matmul_reference(a.data(), b.data(), direct.data(), m, k, n, false);
+  EXPECT_EQ(0, std::memcmp(via_dispatch.data(), direct.data(),
+                           direct.size() * sizeof(float)));
+  const PlanCacheStats after = KernelPlanCache::global().stats();
+  EXPECT_EQ(before.hits + before.misses, after.hits + after.misses);
+}
+
+// One optimizer step on FLNet under both plan modes: the packed and
+// reference kernels follow different summation orders, so the updated
+// parameters agree to float tolerance, not bitwise.
+TEST(PlanMode, TrainingStepEquivalentUnderBothModes) {
+  auto step = [](PlanMode mode) {
+    PlanModeGuard guard(mode);
+    Rng rng(41);
+    FLNetOptions opts;
+    opts.in_channels = 2;
+    FLNet model(opts, rng);
+    Tensor x(Shape::of(2, 2, 16, 16));
+    Tensor target(Shape::of(2, 1, 16, 16));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    for (std::int64_t i = 0; i < target.numel(); ++i) {
+      target[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    Adam adam(model.parameters(), AdamOptions{});
+    adam.zero_grad();
+    LossResult loss = mse_loss(model.forward(x, true), target);
+    model.backward(loss.grad);
+    adam.step();
+    std::vector<float> flat;
+    for (Parameter* p : model.parameters()) {
+      for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+        flat.push_back(p->value[i]);
+      }
+    }
+    return flat;
+  };
+  const std::vector<float> with_auto = step(PlanMode::kAuto);
+  const std::vector<float> with_reference = step(PlanMode::kReference);
+  ASSERT_EQ(with_auto.size(), with_reference.size());
+  EXPECT_LE(max_abs_diff(with_auto, with_reference), 1e-4f);
+}
+
+TEST(GemmPacked, PropagatesNonFiniteValues) {
+  // 0 * NaN = NaN in both strategies: a poisoned B must poison C even
+  // when the matching A entries are zero (the old axpy1 shortcut
+  // skipped the whole row).
+  const std::int64_t m = 8, k = 5, n = 33;  // k=5 exercises the k<4 tail
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k * n), 1.0f);
+  b[static_cast<std::size_t>(4 * n) + 7] = std::nanf("");  // tail row
+  std::vector<float> c_ref(static_cast<std::size_t>(m * n), 0.0f);
+  matmul_reference(a.data(), b.data(), c_ref.data(), m, k, n, false);
+  std::vector<float> c_packed(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_packed(forced_packed_plan(GemmOp::kNN, m, k, n), a.data(), b.data(),
+              c_packed.data(), false);
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c_ref[static_cast<std::size_t>(i * n) + 7]))
+        << "reference row " << i;
+    EXPECT_TRUE(std::isnan(c_packed[static_cast<std::size_t>(i * n) + 7]))
+        << "packed row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fleda

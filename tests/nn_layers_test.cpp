@@ -111,6 +111,45 @@ TEST(Conv2d, BackwardBeforeForwardThrows) {
   EXPECT_THROW(conv.backward(Tensor(Shape{1, 1, 3, 3})), std::logic_error);
 }
 
+TEST(Conv2d, EvalForwardDoesNotRetainActivation) {
+  // An evaluation pass must not pin the batch-sized input on the layer
+  // (at K = 1000 every client evaluates each round): after an eval
+  // forward there is nothing cached, so backward refuses to run — and
+  // an eval pass wipes whatever an earlier training pass cached.
+  Rng rng(31);
+  Conv2dOptions opts;
+  opts.in_channels = 1;
+  opts.out_channels = 2;
+  opts.kernel = 3;
+  opts.same_padding();
+  Conv2d conv("c", opts, rng);
+  Tensor x = random_tensor(Shape::of(1, 1, 6, 6), rng);
+  conv.forward(x, /*training=*/false);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 2, 6, 6})), std::logic_error);
+  conv.forward(x, /*training=*/true);
+  conv.forward(x, /*training=*/false);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 2, 6, 6})), std::logic_error);
+  // A training forward restores the invariant.
+  Tensor y = conv.forward(x, /*training=*/true);
+  EXPECT_NO_THROW(conv.backward(y));
+}
+
+TEST(ConvTranspose2d, EvalForwardDoesNotRetainActivation) {
+  Rng rng(32);
+  ConvTranspose2dOptions opts;
+  opts.in_channels = 2;
+  opts.out_channels = 1;
+  opts.kernel = 4;
+  opts.stride = 2;
+  opts.padding = 1;
+  ConvTranspose2d deconv("d", opts, rng);
+  Tensor x = random_tensor(Shape::of(1, 2, 4, 4), rng);
+  deconv.forward(x, /*training=*/false);
+  EXPECT_THROW(deconv.backward(Tensor(Shape{1, 1, 8, 8})), std::logic_error);
+  Tensor y = deconv.forward(x, /*training=*/true);
+  EXPECT_NO_THROW(deconv.backward(y));
+}
+
 TEST(Conv2d, ParameterNamesAndShapes) {
   Rng rng(7);
   Conv2dOptions opts;

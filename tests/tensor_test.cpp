@@ -238,6 +238,29 @@ TEST(Matmul, InnerDimMismatchThrows) {
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
 }
 
+TEST(Matmul, ZeroTimesNaNPropagates) {
+  // IEEE: 0 * NaN = NaN. The kernels must not shortcut zero rows of A
+  // — a poisoned B has to poison C, or a NaN client update could slip
+  // through a zero-weighted mix unnoticed.
+  const std::int64_t m = 3, k = 5, n = 4;  // k=5: axpy4 body + axpy1 tail
+  Tensor a(Shape::of(m, k));               // all zeros
+  Tensor b(Shape::of(k, n));
+  b.fill(1.0f);
+  b[4 * n + 2] = std::nanf("");  // in the k tail, column 2
+  Tensor c = matmul(a, b);
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c[i * n + 2])) << "row " << i;
+    EXPECT_FLOAT_EQ(c[i * n + 0], 0.0f) << "row " << i;
+  }
+  // Same contract through the transposed-A variant (A stored [k, m]).
+  Tensor at(Shape::of(k, m));  // all zeros
+  Tensor c_at(Shape::of(m, n));
+  matmul_at(at.data(), b.data(), c_at.data(), m, k, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c_at[i * n + 2])) << "row " << i;
+  }
+}
+
 // ---- im2col / col2im ----
 
 struct ConvGeomParam {
