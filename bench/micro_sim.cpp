@@ -47,6 +47,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
@@ -438,20 +439,22 @@ int bench_thousand_clients(SimBenchSummary* summary) {
                                        replay.finals.front());
 
   const bool pass = o_c_billing && deterministic && o_threads_memory;
+  const std::uint64_t fingerprint = finals_checksum({first.finals.front()});
   std::printf(
       "{\"bench\":\"thousand_clients\",\"clients\":%zu,\"cohort\":%d,"
       "\"rounds\":%d,\"bytes_per_round\":%llu,\"model_bytes\":%llu,"
       "\"sim_time_s\":%.1f,\"host_time_s\":%.1f,"
       "\"peak_model_instances\":%lld,\"model_instance_budget\":%lld,"
       "\"o_c_billing\":%s,\"o_threads_memory\":%s,"
-      "\"deterministic\":%s,\"pass\":%s}\n",
+      "\"deterministic\":%s,\"finals_fingerprint\":\"%016llx\",\"pass\":%s}\n",
       kK, kCohort, kRounds,
       static_cast<unsigned long long>(bytes_per_round),
       static_cast<unsigned long long>(model_bytes),
       first.report.total_time_s, host_s,
       static_cast<long long>(peak_models), static_cast<long long>(budget),
       o_c_billing ? "true" : "false", o_threads_memory ? "true" : "false",
-      deterministic ? "true" : "false", pass ? "true" : "false");
+      deterministic ? "true" : "false",
+      static_cast<unsigned long long>(fingerprint), pass ? "true" : "false");
 
   if (summary != nullptr) {
     summary->thousand_host_s = host_s;
@@ -460,7 +463,7 @@ int bench_thousand_clients(SimBenchSummary* summary) {
     summary->thousand_bytes_per_round = bytes_per_round;
     summary->peak_model_instances = peak_models;
     summary->model_instance_budget = budget;
-    summary->finals_fingerprint = finals_checksum({first.finals.front()});
+    summary->finals_fingerprint = fingerprint;
   }
   return pass ? 0 : 1;
 }
@@ -650,6 +653,17 @@ void write_bench_json(const SimBenchSummary& summary,
 
 int main_impl() {
   SimBenchSummary summary;
+  // FLEDA_SIM_PART=thousand runs only the K = 1000 federation part —
+  // the TSan CI smoke wants the full concurrent train/aggregate path
+  // without paying for the (slow under TSan) throughput and robustness
+  // sweeps. Filtered runs skip BENCH_sim.json: the trajectory artifact
+  // only makes sense for the complete bench.
+  const char* part = std::getenv("FLEDA_SIM_PART");
+  if (part != nullptr && std::string(part) == "thousand") {
+    Profiler::set_enabled(true);
+    Profiler::reset();
+    return bench_thousand_clients(&summary);
+  }
   // Raw loop both ways. The headline events_per_sec stays the
   // uninstrumented number (comparable with pre-profiler trajectory
   // artifacts); the profiled line shows the worst case (span around a

@@ -51,7 +51,8 @@ class RoutabilityModel : public Module {
     const std::int64_t now = live_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::int64_t seen = peak_.load(std::memory_order_relaxed);
     while (seen < now &&
-           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
     }
   }
 

@@ -65,7 +65,7 @@ ModelLease ModelPool::acquire() {
   ProfileScope prof(phase::kPoolAcquire);
   Rng build_rng(0);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!idle_.empty()) {
       std::unique_ptr<ModelScratch> scratch = std::move(idle_.back());
       idle_.pop_back();
@@ -90,7 +90,7 @@ void ModelPool::consume_init_stream(Rng& rng) const {
 }
 
 std::size_t ModelPool::resident() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return idle_.size();
 }
 
@@ -101,18 +101,18 @@ std::size_t ModelPool::capacity() const {
 }
 
 std::uint64_t ModelPool::created() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return created_;
 }
 
 void ModelPool::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   idle_.clear();
 }
 
 void ModelPool::release(std::unique_ptr<ModelScratch> scratch) {
   const std::size_t cap = capacity();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (idle_.size() < cap) {
     idle_.push_back(std::move(scratch));
   }

@@ -24,11 +24,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "models/registry.hpp"
 #include "nn/optimizer.hpp"
+#include "util/thread_safety.hpp"
 
 namespace fleda {
 
@@ -109,12 +109,12 @@ class ModelPool {
   ModelFactory factory_;
   std::size_t max_resident_ = 0;  // 0: dynamic threads + 1
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ModelScratch>> idle_;
-  std::uint64_t created_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ModelScratch>> idle_ FLEDA_GUARDED_BY(mutex_);
+  std::uint64_t created_ FLEDA_GUARDED_BY(mutex_) = 0;
   // Private stream for scratch construction; scratch weights are
   // overwritten by apply_to before use, so this never affects results.
-  Rng scratch_rng_{0x73637261746368ull};
+  Rng scratch_rng_ FLEDA_GUARDED_BY(mutex_){0x73637261746368ull};
 };
 
 }  // namespace fleda

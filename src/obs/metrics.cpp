@@ -5,9 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "util/thread_safety.hpp"
 
 namespace fleda {
 
@@ -23,6 +24,7 @@ std::size_t thread_shard() {
 void atomic_add_double(std::atomic<double>& target, double delta) {
   double current = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
                                        std::memory_order_relaxed)) {
   }
 }
@@ -109,14 +111,20 @@ void Histogram::reset() {
 }
 
 // unique_ptr-valued maps: references returned to callers stay pinned
-// while the maps rehash under new registrations.
+// while the maps rehash under new registrations. The mutex guards the
+// map structure only — the metrics themselves are internally atomic,
+// so cached references update them without ever touching the lock.
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  mutable Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      FLEDA_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges
+      FLEDA_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      FLEDA_GUARDED_BY(mutex);
 
-  bool name_taken_elsewhere(const std::string& name, int kind) const {
+  bool name_taken_elsewhere(const std::string& name, int kind) const
+      FLEDA_REQUIRES(mutex) {
     // kind: 0=counter, 1=gauge, 2=histogram
     return (kind != 0 && counters.count(name) != 0) ||
            (kind != 1 && gauges.count(name) != 0) ||
@@ -125,11 +133,23 @@ struct MetricsRegistry::Impl {
 };
 
 MetricsRegistry::Impl* MetricsRegistry::impl() const {
-  if (impl_ == nullptr) impl_ = new Impl();
-  return impl_;
+  Impl* im = impl_.load(std::memory_order_acquire);
+  if (im != nullptr) return im;
+  // First use may race: publish with a CAS and discard the loser so
+  // every caller agrees on one Impl (fixes the lazy-init data race a
+  // plain pointer check had).
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(im, fresh, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;
+  return im;
 }
 
-MetricsRegistry::~MetricsRegistry() { delete impl_; }
+MetricsRegistry::~MetricsRegistry() {
+  delete impl_.load(std::memory_order_acquire);
+}
 
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked so metrics recorded from detached/exiting threads during
@@ -140,7 +160,7 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   if (im.name_taken_elsewhere(name, 0)) {
     throw std::invalid_argument("metric '" + name +
                                 "' already registered with another kind");
@@ -152,7 +172,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   if (im.name_taken_elsewhere(name, 1)) {
     throw std::invalid_argument("metric '" + name +
                                 "' already registered with another kind");
@@ -165,7 +185,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   if (im.name_taken_elsewhere(name, 2)) {
     throw std::invalid_argument("metric '" + name +
                                 "' already registered with another kind");
@@ -179,7 +199,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::vector<std::string> MetricsRegistry::names() const {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   std::vector<std::string> out;
   out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
   for (const auto& [name, _] : im.counters) out.push_back(name);
@@ -191,7 +211,7 @@ std::vector<std::string> MetricsRegistry::names() const {
 
 std::string MetricsRegistry::snapshot_json() const {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : im.counters) {
@@ -242,7 +262,7 @@ std::string MetricsRegistry::snapshot_json() const {
 
 void MetricsRegistry::reset() {
   Impl& im = *impl();
-  std::lock_guard<std::mutex> lock(im.mutex);
+  MutexLock lock(im.mutex);
   for (auto& [_, counter] : im.counters) counter->reset();
   for (auto& [_, gauge] : im.gauges) gauge->reset();
   for (auto& [_, histogram] : im.histograms) histogram->reset();

@@ -113,7 +113,11 @@ class MetricsRegistry {
  private:
   struct Impl;
   Impl* impl() const;
-  mutable Impl* impl_ = nullptr;
+  // Lazily created via an acquire/CAS publish: counter()/gauge()/
+  // histogram() may race on a fresh registry, and a plain pointer here
+  // was a genuine data race (two threads could both observe nullptr,
+  // both allocate, and leak/tear the pointer).
+  mutable std::atomic<Impl*> impl_{nullptr};
 };
 
 }  // namespace fleda

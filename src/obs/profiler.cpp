@@ -8,7 +8,8 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/thread_safety.hpp"
 
 namespace fleda {
 namespace {
@@ -49,10 +50,13 @@ struct ThreadSlab {
 };
 
 struct SlabRegistry {
-  std::mutex mutex;
+  Mutex mutex;
   // shared_ptr keeps slabs alive past thread exit so report() still
-  // sees the work finished threads recorded.
-  std::vector<std::shared_ptr<ThreadSlab>> slabs;
+  // sees the work finished threads recorded. The mutex guards the
+  // vector of slab pointers only; slab *contents* are written lock-free
+  // by their owning thread and read quiescent-consistently by report()
+  // (see the header contract).
+  std::vector<std::shared_ptr<ThreadSlab>> slabs FLEDA_GUARDED_BY(mutex);
 };
 
 SlabRegistry& registry() {
@@ -64,7 +68,7 @@ ThreadSlab& thread_slab() {
   thread_local std::shared_ptr<ThreadSlab> slab = [] {
     auto s = std::make_shared<ThreadSlab>();
     SlabRegistry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.slabs.push_back(s);
     return s;
   }();
@@ -107,7 +111,7 @@ ProfileReport Profiler::report() {
   std::map<std::string, Merged> merged;  // sorted output for free
   SlabRegistry& r = registry();
   {
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     for (const auto& slab : r.slabs) {
       for (const PhaseSlot& slot : slab->slots) {
         if (slot.name == nullptr || slot.count == 0) continue;
@@ -137,7 +141,7 @@ ProfileReport Profiler::report() {
 
 void Profiler::reset() {
   SlabRegistry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& slab : r.slabs) {
     for (PhaseSlot& slot : slab->slots) {
       if (slot.name == nullptr) continue;

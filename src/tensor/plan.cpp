@@ -3,10 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
-#include <shared_mutex>
 
 #include "obs/profiler.hpp"
+#include "util/thread_safety.hpp"
 
 namespace fleda {
 namespace {
@@ -171,10 +170,12 @@ std::atomic<std::uint64_t> g_plan_epoch{1};
 }  // namespace
 
 struct KernelPlanCache::Shard {
-  mutable std::shared_mutex mutex;
+  mutable SharedMutex mutex;
   // Insertion-ordered (deque front = oldest) for FIFO eviction; linear
   // search is fine at these sizes (a run holds tens of shapes).
-  std::deque<std::pair<GemmShape, GemmPlan>> entries;
+  std::deque<std::pair<GemmShape, GemmPlan>> entries FLEDA_GUARDED_BY(mutex);
+  // Stats are atomics precisely so the read paths can bump them under
+  // only the shared (reader) lock.
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> evictions{0};
@@ -199,7 +200,7 @@ KernelPlanCache& KernelPlanCache::global() {
 GemmPlan KernelPlanCache::lookup_or_plan(const GemmShape& shape) {
   Shard& shard = shards_[shard_index(shape)];
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedReaderLock lock(shard.mutex);
     for (const auto& entry : shard.entries) {
       if (entry.first == shape) {
         shard.hits.fetch_add(1, std::memory_order_relaxed);
@@ -215,7 +216,7 @@ GemmPlan KernelPlanCache::lookup_or_plan(const GemmShape& shape) {
     ProfileScope planning(phase::kKernelPlan);
     plan = make_gemm_plan(shape.op, shape.m, shape.k, shape.n);
   }
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  SharedWriterLock lock(shard.mutex);
   for (const auto& entry : shard.entries) {
     if (entry.first == shape) return entry.second;
   }
@@ -267,7 +268,7 @@ PlanCacheStats KernelPlanCache::stats() const {
     stats.hits += shard.hits.load(std::memory_order_relaxed);
     stats.misses += shard.misses.load(std::memory_order_relaxed);
     stats.evictions += shard.evictions.load(std::memory_order_relaxed);
-    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    SharedReaderLock lock(shard.mutex);
     stats.entries += shard.entries.size();
   }
   return stats;
@@ -276,7 +277,7 @@ PlanCacheStats KernelPlanCache::stats() const {
 void KernelPlanCache::clear() {
   for (std::size_t s = 0; s < kNumShards; ++s) {
     Shard& shard = shards_[s];
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    SharedWriterLock lock(shard.mutex);
     shard.entries.clear();
     shard.hits.store(0, std::memory_order_relaxed);
     shard.misses.store(0, std::memory_order_relaxed);

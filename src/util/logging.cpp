@@ -1,5 +1,6 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -7,10 +8,27 @@
 #include <ctime>
 #include <vector>
 
+#include "util/thread_safety.hpp"
+
 namespace fleda {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+// The process-wide sink slot. The mutex both guards the pointer and
+// serializes sink invocations, so a swap can never race a write and
+// two threads' lines never interleave inside one sink call.
+struct SinkSlot {
+  Mutex mutex;
+  LogSink sink FLEDA_GUARDED_BY(mutex) = nullptr;  // nullptr = stderr
+};
+
+SinkSlot& sink_slot() {
+  // Leaked: messages logged from exiting threads during static
+  // destruction must never touch a destroyed mutex.
+  static SinkSlot* slot = new SinkSlot();
+  return *slot;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -80,7 +98,24 @@ void log_message(LogLevel level, const char* file, int line, const char* fmt,
   char out[1224];
   int n = std::snprintf(out, sizeof(out), "%s%s\n", head, body);
   if (n < 0) return;
-  std::fwrite(out, 1, static_cast<size_t>(n), stderr);
+  const std::size_t len =
+      std::min(static_cast<std::size_t>(n), sizeof(out) - 1);
+
+  SinkSlot& slot = sink_slot();
+  MutexLock lock(slot.mutex);
+  if (slot.sink != nullptr) {
+    slot.sink(out, len);
+  } else {
+    std::fwrite(out, 1, len, stderr);
+  }
+}
+
+LogSink set_log_sink(LogSink sink) {
+  SinkSlot& slot = sink_slot();
+  MutexLock lock(slot.mutex);
+  LogSink previous = slot.sink;
+  slot.sink = sink;
+  return previous;
 }
 
 }  // namespace fleda

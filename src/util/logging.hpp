@@ -6,10 +6,14 @@
 // The level is controlled globally (set_log_level) or via the
 // FLEDA_LOG_LEVEL environment variable ("debug", "info", "warn",
 // "error", "off"). Logging is thread-safe: each message is formatted
-// into a local buffer and written with a single fwrite.
+// into a local buffer, then handed to the sink under a mutex, so
+// concurrent messages never interleave mid-line. The default sink
+// writes to stderr; set_log_sink redirects the stream (e.g. into a
+// test capture or a service's log shipper).
 #pragma once
 
 #include <cstdarg>
+#include <cstddef>
 #include <string>
 
 namespace fleda {
@@ -36,6 +40,15 @@ LogLevel parse_log_level(const std::string& name);
 // Core logging entry point; prefer the FLEDA_LOG_* macros.
 void log_message(LogLevel level, const char* file, int line, const char* fmt,
                  ...) __attribute__((format(printf, 4, 5)));
+
+// Receives one fully formatted line (trailing '\n' included). Called
+// with the sink lock held — keep implementations reentrancy-free (no
+// logging from inside a sink).
+using LogSink = void (*)(const char* line, std::size_t length);
+
+// Replaces the process-wide sink; nullptr restores the stderr default.
+// Returns the previous sink (nullptr when it was the default).
+LogSink set_log_sink(LogSink sink);
 
 }  // namespace fleda
 

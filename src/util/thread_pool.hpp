@@ -14,10 +14,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace fleda {
 
@@ -55,10 +56,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ FLEDA_GUARDED_BY(mutex_);
+  bool stop_ FLEDA_GUARDED_BY(mutex_) = false;
 };
 
 // Convenience wrapper over ThreadPool::global().parallel_for.

@@ -1,0 +1,40 @@
+// fleda-lint-fixture: clean
+// Every rule violated once, every violation carrying the per-line
+// `// fleda-lint: allow(<rule>)` escape — the linter must report
+// nothing. Real code pairs each escape with a justification.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+long escaped_clock() {
+  auto t = std::chrono::steady_clock::now();  // fleda-lint: allow(raw-clock)
+  return t.time_since_epoch().count();
+}
+
+int escaped_random() {
+  return std::rand();  // fleda-lint: allow(raw-random)
+}
+
+void escaped_stdout() {
+  std::printf("fixture\n");  // fleda-lint: allow(stdout-io)
+}
+
+double escaped_unordered(const std::unordered_map<int, double>& m) {
+  std::unordered_map<int, double> copy = m;
+  double total = 0.0;
+  // Order-independent reduction (sum), so iteration order is harmless.
+  for (const auto& kv : copy) {  // fleda-lint: allow(unordered-iter)
+    total += kv.second;
+  }
+  return total;
+}
+
+struct Handshake {
+  std::mutex cv_mutex;  // fleda-lint: allow(mutex-guarded)
+};
+
+}  // namespace fixture

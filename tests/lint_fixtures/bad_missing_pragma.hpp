@@ -1,0 +1,9 @@
+// fleda-lint-fixture: expect pragma-once
+// Known-bad: a header without #pragma once (double inclusion would be
+// an ODR time bomb; include guards are not the project idiom).
+
+namespace fixture {
+
+inline int twice(int x) { return 2 * x; }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// fleda-lint-fixture: expect raw-clock
+// Known-bad: reads the raw monotonic clocks directly. Library code
+// must go through StopWatch (host time) or SimClock (simulated time)
+// so profiling can be disabled and replays stay deterministic.
+#include <chrono>
+
+namespace fixture {
+
+long bad_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long bad_hires_ns() {
+  auto t = std::chrono::high_resolution_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace fixture

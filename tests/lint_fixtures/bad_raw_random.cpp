@@ -1,0 +1,19 @@
+// fleda-lint-fixture: expect raw-random
+// Known-bad: unseeded / host-entropy randomness. Every stream in the
+// library forks from util/rng so runs replay bit-identically.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_c_random() {
+  std::srand(42);
+  return std::rand();
+}
+
+unsigned bad_entropy_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// fleda-lint-fixture: expect stdout-io
+// Known-bad: library code writing to stdout. Benches own stdout (CI
+// parses their JSON lines); the library reports through util/logging.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void bad_report(double auc) {
+  std::cout << "auc=" << auc << "\n";
+  std::printf("auc=%.3f\n", auc);
+  std::fprintf(stdout, "auc=%.3f\n", auc);
+  puts("done");
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// fleda-lint-fixture: expect mutex-guarded
+// Known-bad: mutex members with no FLEDA_GUARDED_BY protectee — the
+// lock guards nothing the analysis (or a reader) can see.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace fixture {
+
+class UnguardedCounter {
+ public:
+  void add(int v);
+
+ private:
+  std::mutex mutex_;
+  mutable std::shared_mutex table_mutex_;
+  std::vector<int> values_;  // should be FLEDA_GUARDED_BY(mutex_)
+};
+
+}  // namespace fixture

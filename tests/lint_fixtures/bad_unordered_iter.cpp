@@ -1,0 +1,25 @@
+// fleda-lint-fixture: expect unordered-iter
+// Known-bad: iterates a hash container in what would be a numeric
+// path — bucket order depends on pointer hashes, so any accumulation
+// in this order is nondeterministic across runs and allocators.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double bad_sum(const std::unordered_map<int, double>& m) {
+  std::unordered_map<int, double> weights = m;
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int bad_first(std::unordered_set<int> ids) {
+  auto it = ids.begin();
+  return it == ids.end() ? -1 : *it;
+}
+
+}  // namespace fixture

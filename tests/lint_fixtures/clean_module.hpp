@@ -1,0 +1,35 @@
+// fleda-lint-fixture: clean
+// A header written to the house rules: #pragma once, annotated mutex
+// with a FLEDA_GUARDED_BY protectee, no raw clocks/randomness/stdout,
+// and strings/comments mentioning steady_clock or printf("...") that
+// must NOT trip the stripper-backed rules.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/thread_safety.hpp"
+
+namespace fixture {
+
+// Documentation may say steady_clock and rand() freely — comments are
+// stripped before the rules run.
+class CleanRegistry {
+ public:
+  void put(const std::string& key, double value) {
+    fleda::MutexLock lock(mutex_);
+    values_[key] = value;
+  }
+
+  const char* describe() const {
+    // String literals are stripped too:
+    return "not a real printf(call) or steady_clock use";
+  }
+
+ private:
+  mutable fleda::Mutex mutex_;
+  std::map<std::string, double> values_ FLEDA_GUARDED_BY(mutex_);
+};
+
+}  // namespace fixture
