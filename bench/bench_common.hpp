@@ -40,6 +40,40 @@ inline ExperimentConfig make_config(ModelKind model) {
   if (const char* reset = std::getenv("FLEDA_RESET_OPTIMIZER")) {
     cfg.reset_optimizer = std::atoi(reset) != 0;
   }
+  // FLEDA_PARTICIPATION=kind[:C] — cohort policy by name ("full",
+  // "uniform" / "uniform_sample", "availability" / "availability_aware",
+  // "reputation" / "reputation_weighted"), with an optional sample
+  // size after a colon (e.g. "uniform:20"). The reputation policy
+  // needs detector verdicts, so picking it also enables anomaly
+  // detection (a pure observer — it changes no model math).
+  if (const char* participation = std::getenv("FLEDA_PARTICIPATION")) {
+    std::string spec(participation);
+    const std::size_t colon = spec.find(':');
+    if (colon != std::string::npos) {
+      cfg.participation.sample_size = std::atoi(spec.c_str() + colon + 1);
+      spec.resize(colon);
+    }
+    if (spec == "full") {
+      cfg.participation.kind = ParticipationKind::kFull;
+    } else if (spec == "uniform" || spec == "uniform_sample") {
+      cfg.participation.kind = ParticipationKind::kUniformSample;
+    } else if (spec == "availability" || spec == "availability_aware") {
+      cfg.participation.kind = ParticipationKind::kAvailabilityAware;
+    } else if (spec == "reputation" || spec == "reputation_weighted") {
+      cfg.participation.kind = ParticipationKind::kReputationWeighted;
+      cfg.anomaly.enabled = true;
+    } else {
+      FLEDA_LOG_ERROR("FLEDA_PARTICIPATION: unknown policy '%s' (expected "
+                      "full|uniform|availability|reputation[:C])",
+                      spec.c_str());
+      std::exit(2);
+    }
+  }
+  // FLEDA_KRUM_F — assumed Byzantine count for the krum / multi_krum
+  // rules (pair with FLEDA_AGG_RULE=krum or multi_krum).
+  if (const char* krum_f = std::getenv("FLEDA_KRUM_F")) {
+    cfg.aggregation.krum_f = std::atoi(krum_f);
+  }
   return cfg;
 }
 

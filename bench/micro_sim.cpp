@@ -31,6 +31,15 @@
 // layer's NaN guard counts as diverged — loudly, which is the point of
 // the guard.
 //
+// Part 6 is the adversarial arms race on the same fleet: multi_krum
+// must track the clean trajectory under sign-flip, the server-side
+// AnomalyDetector must reach 0.8 precision/recall against the oracle
+// attacker set, reputation-weighted participation must win back at
+// least half of the AUC plain weighted_average loses to uniform
+// sampling, and the adaptive (tolerance-estimating) attacker must
+// cost norm_clipped_mean at least 0.05 AUC more than the oblivious
+// scaled attacker it out-smarts.
+//
 // Part 5 is the observability overhead gate: the same K = 1000
 // federation run three times with the scoped profiler enabled and
 // three times disabled (median of each). The instrumented run must
@@ -53,6 +62,7 @@
 #include <vector>
 
 #include "comm/codec.hpp"
+#include "fl/anomaly.hpp"
 #include "fl/async_fedavg.hpp"
 #include "fl/fedavg.hpp"
 #include "fl/participation.hpp"
@@ -259,6 +269,18 @@ struct ThousandOptions {
   // Aggregation rule by registry name; empty = weighted_average.
   std::string rule;
   double trim_fraction = 0.2;
+  int krum_f = 1;           // "krum" / "multi_krum"
+  int krum_m = 0;           // "multi_krum"; 0 = auto (n - f - 2)
+  double clip_norm = 0.0;   // > 0 overrides the "norm_clipped_mean" knob
+  // Cohort selection (uniform by default; kReputationWeighted needs
+  // `anomaly` so run() can build the detect->react loop).
+  ParticipationKind participation = ParticipationKind::kUniformSample;
+  // Server-side anomaly detection; `detector` optionally passes a
+  // caller-owned instance so tallies survive the run, `reputation` a
+  // caller-owned book (e.g. with a harsher penalty than the default).
+  bool anomaly = false;
+  AnomalyDetector* detector = nullptr;
+  ReputationBook* reputation = nullptr;
   // Byzantine fraction of the fleet (attackers spread evenly).
   std::size_t attackers = 0;
   AttackSpec attack;
@@ -308,11 +330,17 @@ ThousandRun run_thousand(const ThousandOptions& t) {
   opts.client.learning_rate = 1e-3;
   opts.client.mu = 0.0;
   opts.seed = 99;
-  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.kind = t.participation;
   opts.participation.sample_size = t.cohort;
   opts.participation.seed = 31337;
   opts.aggregation.rule = t.rule;
   opts.aggregation.trim_fraction = t.trim_fraction;
+  opts.aggregation.krum_f = t.krum_f;
+  opts.aggregation.krum_m = t.krum_m;
+  if (t.clip_norm > 0.0) opts.aggregation.clip_norm = t.clip_norm;
+  opts.anomaly.enabled = t.anomaly;
+  opts.detector = t.detector;
+  opts.reputation = t.reputation;
   opts.sim = SimConfig::heterogeneous(t.num_clients, /*seed=*/5);
   if (t.attackers > 0) add_attackers(opts.sim, t.attackers, t.attack);
 
@@ -378,6 +406,18 @@ struct SimBenchSummary {
   double byz_coordinate_median_auc = 0.0;
   double byz_trimmed_mean_auc = 0.0;
   bool byz_pass = false;
+  // Part 6: adversarial arms race (defenses vs smarter attackers).
+  double ar_multi_krum_auc = 0.0;
+  bool ar_multi_krum_tracks = false;
+  double ar_detector_precision = 0.0;
+  double ar_detector_recall = 0.0;
+  double ar_reputation_auc = 0.0;
+  double ar_reputation_recovered = 0.0;  // fraction of the wa gap won back
+  double ar_clip_norm = 0.0;             // calibrated norm_clipped_mean knob
+  double ar_oblivious_clip_auc = 0.0;    // kScaled vs norm_clipped_mean
+  double ar_adaptive_clip_auc = 0.0;     // kAdaptiveScaled vs the same rule
+  double ar_adaptive_gap = 0.0;          // oblivious - adaptive AUC
+  bool ar_pass = false;
   // Part 5: profiler overhead on the K = 1000 federation.
   double prof_disabled_eps = 0.0;   // sim events/sec, profiler off
   double prof_enabled_eps = 0.0;    // sim events/sec, profiler on
@@ -543,6 +583,192 @@ int bench_byzantine(SimBenchSummary* summary) {
   return pass ? 0 : 1;
 }
 
+// --- part 6: adversarial arms race -----------------------------------
+
+// Defenses vs smarter attackers on the part-4 fleet (K = 1000, C = 20,
+// 10% attackers, 32 rounds). Reuses part 4's clean weighted_average
+// AUC from the summary as the multi_krum target, then adds:
+//   multi_krum   — distance-based selection must track the clean
+//                  trajectory under the 10x sign-flip (within 0.02);
+//   detection    — the AnomalyDetector must reach >= 0.8 precision AND
+//                  >= 0.8 recall on the stock sign-flip scenario
+//                  (per-scoring-event, against the oracle attacker set);
+//   reputation   — reputation_weighted sampling under plain
+//                  weighted_average must win back at least half of the
+//                  AUC gap the uniform-sampled poisoned run loses;
+//   adaptive     — kAdaptiveScaled (reversed delta sized to the
+//                  estimated tolerance) must cost norm_clipped_mean at
+//                  least 0.05 AUC more than the oblivious kScaled
+//                  attacker, whose oversized update the clip neuters.
+// The clip knob is calibrated from a short clean probe: clip_norm =
+// 5x the detector's EMA of cohort median delta norms — deliberately
+// looser than AnomalyConfig::norm_factor's 3x flagging threshold, the
+// way production clips are set so honest heterogeneity tails are never
+// trimmed. That slack is exactly what the adaptive attacker farms.
+int bench_arms_race(SimBenchSummary* summary) {
+  ThousandOptions base;
+  base.rounds = 32;
+  base.steps = 4;
+  base.attack.kind = AttackKind::kSignFlip;
+  base.attack.scale = 10.0;
+  base.attackers = 100;
+  constexpr double kTolerance = 0.02;
+
+  const double clean_auc = summary->byz_clean_auc;
+
+  // multi_krum{f=4, m=10}: selection over n - f - 2 = 14 nearest
+  // neighbors at C = 20, averaging the 10 lowest-scored — attackers
+  // would need an 11-of-20 cohort majority to reach the model.
+  ThousandOptions krum = base;
+  krum.rule = "multi_krum";
+  krum.krum_f = 4;
+  krum.krum_m = 10;
+  const ThousandRun r_krum = run_thousand(krum);
+  const bool krum_tracks =
+      !r_krum.failed && std::abs(r_krum.final_auc - clean_auc) <= kTolerance;
+
+  // Detection precision/recall on the stock sign-flip run. The rule is
+  // trimmed_mean so the run survives to score all 32 cohorts; the
+  // detector is a pure observer, so the rule choice cannot change what
+  // it sees. Ground truth comes from rebuilding the same deterministic
+  // attacker layout the run used.
+  AnomalyDetector detector{[] {
+    AnomalyConfig config;
+    config.enabled = true;
+    return config;
+  }()};
+  ThousandOptions det = base;
+  det.rule = "trimmed_mean";
+  det.anomaly = true;
+  det.detector = &detector;
+  const ThousandRun r_det = run_thousand(det);
+  SimConfig truth = SimConfig::heterogeneous(base.num_clients, /*seed=*/5);
+  add_attackers(truth, base.attackers, base.attack);
+  double tp = 0.0, fp = 0.0, fn = 0.0;
+  for (std::size_t k = 0; k < base.num_clients; ++k) {
+    const bool is_attacker = truth.profile(k).attack.kind != AttackKind::kNone;
+    const double flags = static_cast<double>(detector.flagged(k));
+    const double scored = static_cast<double>(detector.scored(k));
+    if (is_attacker) {
+      tp += flags;
+      fn += scored - flags;
+    } else {
+      fp += flags;
+    }
+  }
+  const double precision = tp / std::max(tp + fp, 1.0);
+  const double recall = tp / std::max(tp + fn, 1.0);
+  const bool detect_ok =
+      !r_det.failed && precision >= 0.8 && recall >= 0.8;
+
+  // Reputation-weighted sampling under the same weighted_average the
+  // uniform run lost with: detector flags feed the book, flagged
+  // clients fall toward the weight floor, and late rounds are nearly
+  // attacker-free. The loop is coverage-limited — an attacker poisons
+  // at least once before its first verdict — so the trio (clean /
+  // uniform / reputation, sharing every other knob) runs at C = 50,
+  // where the detector meets the whole 100-attacker pool well inside
+  // the horizon, and the book's first flag drops a client straight to
+  // the weight floor: one verdict benches an attacker for the run.
+  ThousandOptions rep_base = base;
+  rep_base.cohort = 50;
+  ThousandOptions rep_clean = rep_base;
+  rep_clean.attackers = 0;
+  ThousandOptions rep_uniform = rep_base;
+  ReputationBook book{[] {
+    ReputationConfig config;
+    config.flag_penalty = config.floor;  // one flag -> the floor
+    return config;
+  }()};
+  ThousandOptions rep = rep_base;
+  rep.participation = ParticipationKind::kReputationWeighted;
+  rep.anomaly = true;
+  rep.reputation = &book;
+  const ThousandRun r_rep_clean = run_thousand(rep_clean);
+  const ThousandRun r_rep_uniform = run_thousand(rep_uniform);
+  const ThousandRun r_rep = run_thousand(rep);
+  const double rep_clean_auc = r_rep_clean.final_auc;
+  const double rep_uniform_auc = r_rep_uniform.final_auc;
+  const double wa_gap = rep_clean_auc - rep_uniform_auc;
+  const double recovered =
+      wa_gap > 0.0 ? (r_rep.final_auc - rep_uniform_auc) / wa_gap : 0.0;
+  const bool rep_ok =
+      !r_rep_clean.failed && !r_rep.failed && wa_gap > 0.0 && recovered >= 0.5;
+
+  // Adaptive vs oblivious against norm_clipped_mean. Calibrate the
+  // clip from a short clean probe, then run the oblivious 10x-scaled
+  // attacker (its inflated update is clipped back to an honest-sized
+  // step in the honest direction) and the adaptive one (reversed delta
+  // sized to its tolerance estimate — inside the clip, fully counted).
+  // The pair runs a mid-training horizon: the adaptive attack is a
+  // convergence-rate tax (it cancels part of every cohort step), so the
+  // AUC separation is widest before both trajectories plateau.
+  AnomalyDetector probe{[] {
+    AnomalyConfig config;
+    config.enabled = true;
+    return config;
+  }()};
+  ThousandOptions probe_opts;
+  probe_opts.rounds = 4;
+  probe_opts.steps = base.steps;
+  probe_opts.anomaly = true;
+  probe_opts.detector = &probe;
+  const ThousandRun r_probe = run_thousand(probe_opts);
+  const double clip = 5.0 * probe.baseline_norm();
+
+  ThousandOptions oblivious = base;
+  oblivious.rounds = 8;
+  oblivious.rule = "norm_clipped_mean";
+  oblivious.clip_norm = clip;
+  oblivious.attack.kind = AttackKind::kScaled;
+  oblivious.attack.scale = 10.0;
+  ThousandOptions adaptive = oblivious;
+  adaptive.attack.kind = AttackKind::kAdaptiveScaled;
+  // The tolerance estimate is an EMA of the global step, which the
+  // attack itself shrinks as it bites; 8x that self-dampened estimate
+  // keeps the reversed delta pinned at the clip allowance instead of
+  // fading with its own success (the rule clips any overshoot back to
+  // the allowance, so the attacker loses nothing by aiming high).
+  adaptive.attack.scale = 8.0;
+  const ThousandRun r_oblivious = run_thousand(oblivious);
+  const ThousandRun r_adaptive = run_thousand(adaptive);
+  const double adaptive_gap = r_oblivious.final_auc - r_adaptive.final_auc;
+  const bool adaptive_ok = !r_probe.failed && clip > 0.0 &&
+                           !r_oblivious.failed && !r_adaptive.failed &&
+                           adaptive_gap >= 0.05;
+
+  const bool pass = krum_tracks && detect_ok && rep_ok && adaptive_ok;
+  std::printf(
+      "{\"bench\":\"arms_race\",\"clients\":%zu,\"cohort\":%d,\"rounds\":%d,"
+      "\"attackers\":%zu,\"multi_krum_auc\":%.4f,\"multi_krum_tracks\":%s,"
+      "\"detector_precision\":%.4f,\"detector_recall\":%.4f,"
+      "\"reputation_cohort\":%d,\"reputation_clean_auc\":%.4f,"
+      "\"reputation_uniform_auc\":%.4f,\"reputation_auc\":%.4f,"
+      "\"reputation_recovered\":%.3f,"
+      "\"clip_norm\":%.4f,\"clip_rounds\":%d,\"oblivious_clip_auc\":%.4f,"
+      "\"adaptive_clip_auc\":%.4f,\"adaptive_gap\":%.4f,\"pass\":%s}\n",
+      base.num_clients, base.cohort, base.rounds, base.attackers,
+      r_krum.final_auc, krum_tracks ? "true" : "false", precision, recall,
+      rep_base.cohort, rep_clean_auc, rep_uniform_auc, r_rep.final_auc,
+      recovered, clip, oblivious.rounds, r_oblivious.final_auc,
+      r_adaptive.final_auc, adaptive_gap, pass ? "true" : "false");
+
+  if (summary != nullptr) {
+    summary->ar_multi_krum_auc = r_krum.final_auc;
+    summary->ar_multi_krum_tracks = krum_tracks;
+    summary->ar_detector_precision = precision;
+    summary->ar_detector_recall = recall;
+    summary->ar_reputation_auc = r_rep.final_auc;
+    summary->ar_reputation_recovered = recovered;
+    summary->ar_clip_norm = clip;
+    summary->ar_oblivious_clip_auc = r_oblivious.final_auc;
+    summary->ar_adaptive_clip_auc = r_adaptive.final_auc;
+    summary->ar_adaptive_gap = adaptive_gap;
+    summary->ar_pass = pass;
+  }
+  return pass ? 0 : 1;
+}
+
 // --- part 5: profiler overhead on the K = 1000 federation ------------
 
 // Median-of-3 simulated-events/sec of the standard thousand-client run
@@ -624,6 +850,11 @@ void write_bench_json(const SimBenchSummary& summary,
       "\"weighted_average_auc\":%.4f,\"weighted_average_diverged\":%s,"
       "\"coordinate_median_auc\":%.4f,\"trimmed_mean_auc\":%.4f,"
       "\"pass\":%s},"
+      "\"arms_race\":{\"multi_krum_auc\":%.4f,\"multi_krum_tracks\":%s,"
+      "\"detector_precision\":%.4f,\"detector_recall\":%.4f,"
+      "\"reputation_auc\":%.4f,\"reputation_recovered\":%.3f,"
+      "\"clip_norm\":%.4f,\"oblivious_clip_auc\":%.4f,"
+      "\"adaptive_clip_auc\":%.4f,\"adaptive_gap\":%.4f,\"pass\":%s},"
       "\"profiler_overhead\":{\"disabled_events_per_sec\":%.0f,"
       "\"enabled_events_per_sec\":%.0f,\"overhead_pct\":%.2f,"
       "\"fingerprints_match\":%s,\"pass\":%s},"
@@ -642,6 +873,13 @@ void write_bench_json(const SimBenchSummary& summary,
       summary.byz_weighted_average_diverged ? "true" : "false",
       summary.byz_coordinate_median_auc, summary.byz_trimmed_mean_auc,
       summary.byz_pass ? "true" : "false",
+      summary.ar_multi_krum_auc,
+      summary.ar_multi_krum_tracks ? "true" : "false",
+      summary.ar_detector_precision, summary.ar_detector_recall,
+      summary.ar_reputation_auc, summary.ar_reputation_recovered,
+      summary.ar_clip_norm, summary.ar_oblivious_clip_auc,
+      summary.ar_adaptive_clip_auc, summary.ar_adaptive_gap,
+      summary.ar_pass ? "true" : "false",
       summary.prof_disabled_eps, summary.prof_enabled_eps,
       summary.prof_overhead_pct,
       summary.prof_fingerprints_match ? "true" : "false",
@@ -664,6 +902,16 @@ int main_impl() {
     Profiler::reset();
     return bench_thousand_clients(&summary);
   }
+  // FLEDA_SIM_PART=arms_race runs only the adversarial parts (4 and 6;
+  // part 6 needs part 4's clean/poisoned baselines) — the fast loop for
+  // tuning attack and defense knobs.
+  if (part != nullptr && std::string(part) == "arms_race") {
+    Profiler::set_enabled(true);
+    Profiler::reset();
+    const int byz_rc = bench_byzantine(&summary);
+    const int arms_rc = bench_arms_race(&summary);
+    return byz_rc != 0 ? byz_rc : arms_rc;
+  }
   // Raw loop both ways. The headline events_per_sec stays the
   // uninstrumented number (comparable with pre-profiler trajectory
   // artifacts); the profiled line shows the worst case (span around a
@@ -677,6 +925,7 @@ int main_impl() {
   const int thousand_rc = bench_thousand_clients(&summary);
   const int overhead_rc = bench_profiler_overhead(&summary);
   const int byzantine_rc = bench_byzantine(&summary);
+  const int arms_race_rc = bench_arms_race(&summary);
   summary.rss_mb = peak_rss_mb();
 
   // The merged per-phase profile of everything since the reset above.
@@ -696,6 +945,7 @@ int main_impl() {
   if (thousand_rc != 0) return thousand_rc;
   if (overhead_rc != 0) return overhead_rc;
   if (byzantine_rc != 0) return byzantine_rc;
+  if (arms_race_rc != 0) return arms_race_rc;
   return profile_ok ? 0 : 1;
 }
 

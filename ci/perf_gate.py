@@ -6,6 +6,8 @@ a >20% regression in the headline numbers.
 Gated metrics (current vs previous):
   - BENCH_sim.json     events_per_sec                  must be >= 0.8x
   - BENCH_sim.json     thousand_clients.round_host_ms  must be <= 1.2x
+  - BENCH_sim.json     arms_race.{detector_precision,detector_recall,
+                       multi_krum_auc,reputation_auc}  must be >= 0.8x
   - BENCH_comm.json    codecs[*].encode_mb_per_s       must be >= 0.8x
   - BENCH_comm.json    codecs[*].decode_mb_per_s       must be >= 0.8x
   - BENCH_kernels.json shapes[*].auto_gflops           must be >= 0.8x
@@ -143,6 +145,17 @@ def main():
         sim_now.get("thousand_clients", {}).get("round_host_ms"),
         sim_prev.get("thousand_clients", {}).get("round_host_ms"),
         lower_is_better=True))
+    # Arms-race quality trajectory: detection and robust-rule AUC are
+    # quality numbers, not timings, but a silent slide still reads as a
+    # regression. check() skips cleanly when the baseline artifact
+    # predates the arms_race block.
+    ar_now = sim_now.get("arms_race", {})
+    ar_prev = sim_prev.get("arms_race", {})
+    for metric in ("detector_precision", "detector_recall",
+                   "multi_krum_auc", "reputation_auc"):
+        errors.append(check(
+            f"sim.arms_race.{metric}",
+            ar_now.get(metric), ar_prev.get(metric)))
     now_rows, prev_rows = codec_rows(comm_now), codec_rows(comm_prev)
     for name in sorted(set(now_rows) & set(prev_rows)):
         for metric in ("encode_mb_per_s", "decode_mb_per_s"):

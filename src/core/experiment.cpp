@@ -141,6 +141,7 @@ FLRunOptions Experiment::make_run_options() const {
   opts.sim = config_.sim;
   opts.participation = config_.participation;
   opts.aggregation = config_.aggregation;
+  opts.anomaly = config_.anomaly;
   return opts;
 }
 

@@ -77,6 +77,9 @@ struct ExperimentConfig {
   // "trimmed_mean" / "norm_clipped_mean" harden any method against
   // Byzantine clients.
   AggregationConfig aggregation;
+  // Server-side attacker detection / reputation loop (fl/anomaly.hpp);
+  // disabled by default, a pure observer when enabled.
+  AnomalyConfig anomaly;
   // AsyncFedAvg knobs (buffer size, staleness discount, max_in_flight
   // dispatch gate).
   AsyncConfig async;

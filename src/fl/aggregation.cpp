@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <utility>
 
@@ -210,6 +211,108 @@ ModelParameters NormClippedMean::aggregate(
   return result;
 }
 
+Krum::Krum(int f) : f_(f) {
+  if (f < 0) {
+    throw std::invalid_argument("Krum: f " + std::to_string(f) +
+                                " must be >= 0");
+  }
+}
+
+std::vector<std::size_t> Krum::krum_order(
+    const std::vector<AggregationInput>& cohort, const char* rule) const {
+  checked_total_weight(rule, cohort, false, nullptr);
+  const std::size_t n = cohort.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    check_structure(rule, *cohort[0].params, cohort[i], i);
+  }
+  const std::size_t needed = 2 * static_cast<std::size_t>(f_) + 3;
+  if (n < needed) {
+    throw std::invalid_argument(
+        std::string(rule) + ": cohort of " + std::to_string(n) +
+        " cannot tolerate f=" + std::to_string(f_) +
+        " Byzantine members — Krum scoring needs n >= 2f + 3 = " +
+        std::to_string(needed) +
+        " (sample a larger cohort or lower krum_f)");
+  }
+  // Pairwise squared distances, each pair computed once. n is a cohort
+  // (tens), not the fleet, so the O(n^2) pass over full snapshots is
+  // the aggregation cost, not a scaling wall.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = cohort[i].params->squared_l2_distance(*cohort[j].params);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  // score_i = sum of the n - f - 2 smallest distances to OTHERS.
+  const std::size_t neighbors = n - static_cast<std::size_t>(f_) - 2;
+  std::vector<double> score(n, 0.0);
+  std::vector<double> row(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row[m++] = dist[i * n + j];
+    }
+    std::nth_element(row.begin(),
+                     row.begin() + static_cast<std::ptrdiff_t>(neighbors - 1),
+                     row.end());
+    double acc = 0.0;
+    for (std::size_t c = 0; c < neighbors; ++c) acc += row[c];
+    score[i] = acc;
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // Ties break on the lower cohort index — selection is a pure
+  // function of the multiset of updates plus their order, never of
+  // thread scheduling.
+  std::sort(order.begin(), order.end(),
+            [&score](std::size_t a, std::size_t b) {
+              if (score[a] != score[b]) return score[a] < score[b];
+              return a < b;
+            });
+  return order;
+}
+
+ModelParameters Krum::aggregate(
+    const ModelParameters& /*current*/,
+    const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
+  const std::vector<std::size_t> order = krum_order(cohort, "Krum");
+  return *cohort[order.front()].params;
+}
+
+MultiKrum::MultiKrum(int f, int m) : Krum(f), m_(m) {
+  if (m < 0) {
+    throw std::invalid_argument("MultiKrum: m " + std::to_string(m) +
+                                " must be >= 0 (0 = auto n - f - 2)");
+  }
+}
+
+ModelParameters MultiKrum::aggregate(
+    const ModelParameters& /*current*/,
+    const std::vector<AggregationInput>& cohort) const {
+  ProfileScope prof(phase::kAggregate);
+  const std::vector<std::size_t> order = krum_order(cohort, "MultiKrum");
+  const std::size_t n = cohort.size();
+  const std::size_t max_m = n - static_cast<std::size_t>(f()) - 2;
+  const std::size_t m = m_ == 0 ? max_m : static_cast<std::size_t>(m_);
+  if (m > max_m) {
+    throw std::invalid_argument(
+        "MultiKrum: m=" + std::to_string(m) + " exceeds n - f - 2 = " +
+        std::to_string(max_m) + " for a cohort of " + std::to_string(n) +
+        " — the tail beyond that has no Byzantine-resilient score");
+  }
+  // Unweighted average of the m best-scored updates (rank-based family:
+  // robustness comes from the selection, not the sample counts).
+  ModelParameters result = *cohort[order[0]].params;
+  result.scale(1.0 / static_cast<double>(m));
+  for (std::size_t c = 1; c < m; ++c) {
+    result.add_scaled(*cohort[order[c]].params, 1.0 / static_cast<double>(m));
+  }
+  return result;
+}
+
 double StalenessPolicy::weight(int staleness) const {
   if (staleness <= 0) return 1.0;
   switch (discount) {
@@ -270,6 +373,12 @@ void register_builtin_rules(AggregationRegistry& registry) {
   });
   registry.add("norm_clipped_mean", [](const AggregationConfig& c) {
     return std::make_unique<NormClippedMean>(c.clip_norm);
+  });
+  registry.add("krum", [](const AggregationConfig& c) {
+    return std::make_unique<Krum>(c.krum_f);
+  });
+  registry.add("multi_krum", [](const AggregationConfig& c) {
+    return std::make_unique<MultiKrum>(c.krum_f, c.krum_m);
   });
   registry.add("staleness_mix", [](const AggregationConfig& c) {
     return std::make_unique<StalenessDiscountedMix>(c.staleness,

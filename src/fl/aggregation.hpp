@@ -148,6 +148,55 @@ class NormClippedMean : public AggregationRule {
   double clip_norm_;
 };
 
+// Krum (Blanchard et al. 2017): distance-based selection. Each cohort
+// member i is scored by the sum of its squared L2 distances to its
+// n - f - 2 nearest neighbors; the member with the lowest score — the
+// update sitting deepest inside the honest cluster — becomes the next
+// model verbatim. Tolerates f Byzantine members but requires
+// n >= 2f + 3 (enforced per aggregate() call with a descriptive
+// error): with fewer honest neighbors the score is no longer
+// Byzantine-resilient. Rank-based like the median: sample-count
+// weights are validated but do not influence selection.
+class Krum : public AggregationRule {
+ public:
+  explicit Krum(int f);  // assumed Byzantine count, must be >= 0
+
+  std::string name() const override { return "krum"; }
+  int f() const { return f_; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+
+ protected:
+  // Cohort indices ordered ascending by (Krum score, index); callers
+  // take the first m. Validates the cohort (shared guards + the
+  // n >= 2f + 3 requirement). `rule` labels the thrown errors.
+  std::vector<std::size_t> krum_order(
+      const std::vector<AggregationInput>& cohort, const char* rule) const;
+
+ private:
+  int f_;
+};
+
+// MultiKrum{f, m}: the unweighted average of the m lowest-Krum-score
+// updates — smoother than single Krum (m honest votes instead of one)
+// while still discarding the far-out m..n tail. m must satisfy
+// 1 <= m <= n - f - 2; m == 0 selects that maximum automatically per
+// cohort (keep everything Krum considers scoreable).
+class MultiKrum : public Krum {
+ public:
+  MultiKrum(int f, int m);  // m >= 0; 0 = auto (n - f - 2 at aggregate)
+
+  std::string name() const override { return "multi_krum"; }
+  int m() const { return m_; }
+  ModelParameters aggregate(
+      const ModelParameters& current,
+      const std::vector<AggregationInput>& cohort) const override;
+
+ private:
+  int m_;
+};
+
 // Staleness discount s(tau) applied to buffered async updates.
 enum class StalenessDiscount : std::uint8_t {
   // s(tau) = (1 + tau)^-exponent — FedBuff's polynomial discount.
@@ -195,6 +244,8 @@ struct AggregationConfig {
   std::string rule;
   double trim_fraction = 0.1;  // "trimmed_mean"
   double clip_norm = 10.0;     // "norm_clipped_mean"
+  int krum_f = 1;              // "krum" / "multi_krum": Byzantine budget
+  int krum_m = 0;              // "multi_krum": selected count; 0 = n-f-2
   // Knobs for an EXPLICIT rule = "staleness_mix". They intentionally
   // take precedence over AsyncConfig's staleness/server_mix fields,
   // which apply only to the empty-rule default — naming the rule here
@@ -213,7 +264,8 @@ class AggregationRegistry {
 
   // The process-wide registry, with the built-in rules
   // ("weighted_average", "coordinate_median", "trimmed_mean",
-  // "norm_clipped_mean", "staleness_mix") registered on first use.
+  // "norm_clipped_mean", "krum", "multi_krum", "staleness_mix")
+  // registered on first use.
   static AggregationRegistry& global();
 
   // Registers `factory` under `name`. Throws std::invalid_argument on

@@ -1,0 +1,135 @@
+// Server-side attacker detection and the reputation loop it feeds.
+//
+// AnomalyDetector scores each cohort's update deltas (update minus the
+// dispatched reference) from two statistics every Byzantine behavior
+// in sim/profile.hpp disturbs:
+//   norm    — a delta far larger than the cohort's robust (median)
+//             norm, cross-checked against an EMA baseline of previous
+//             cohorts' medians (scaled/noise/naive sign-flip attacks);
+//   cosine  — a delta pointing against the cohort's consensus
+//             direction (sign-flip and adaptive reversed-delta
+//             attacks, whose norms look honest).
+// Flags are *inference*, recorded next to the ground-truth attacker
+// count in RoundTelemetry so precision/recall is measurable, and they
+// feed a persistent per-client ReputationBook: flagged clients lose
+// sampling weight multiplicatively and recover slowly over clean
+// observations. The ReputationWeighted participation policy
+// (fl/participation.hpp) samples by those weights — the detect->react
+// loop that down-samples suspected attackers instead of only
+// absorbing their poison in a robust rule.
+//
+// Both classes are driven from the simulation's coordinator thread
+// (round loops and event handlers are single-threaded) and are pure
+// observers: enabling detection never changes the model math, so the
+// clean-run fingerprint is untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/parameters.hpp"
+
+namespace fleda {
+
+struct AnomalyConfig {
+  // Master switch: FLRunOptions carries this config by value and only
+  // builds a detector when enabled (detection costs one O(cohort *
+  // params) pass per round).
+  bool enabled = false;
+  // Flag when ||delta|| exceeds norm_factor times the norm reference
+  // (the smaller of this cohort's median norm and the running EMA
+  // baseline — the min guards against a majority-poisoned cohort
+  // inflating its own median).
+  double norm_factor = 3.0;
+  // Flag when cos(delta, consensus) falls below this. The consensus is
+  // the mean of the cohort's norm-clean deltas; honest heterogeneous
+  // clients disagree (cosines well under 1) but do not point backwards.
+  double cosine_threshold = -0.2;
+  // EMA weight on history when folding a cohort's median norm into the
+  // running baseline.
+  double baseline_decay = 0.5;
+  // Cohorts smaller than this are not scored — a crowd defines
+  // "normal", two clients do not.
+  int min_cohort = 4;
+};
+
+// One update's score card.
+struct UpdateVerdict {
+  std::size_t client = 0;
+  double norm = 0.0;    // ||delta||
+  double cosine = 1.0;  // vs the cohort consensus; 1.0 when unscored
+  bool flagged = false;
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(AnomalyConfig config = {});
+
+  const AnomalyConfig& config() const { return config_; }
+
+  // Scores one cohort of update deltas; deltas[i] was sent by
+  // federation client clients[i] (the two vectors must match in size).
+  // Updates the running baseline and the per-client tallies, and
+  // returns the verdicts in cohort order. Coordinator thread only;
+  // deterministic (no randomness, order-independent statistics).
+  std::vector<UpdateVerdict> score_cohort(
+      const std::vector<std::size_t>& clients,
+      const std::vector<const ModelParameters*>& deltas);
+
+  // Cumulative tallies for precision/recall accounting: how often each
+  // client was scored and how often it was flagged.
+  std::uint64_t scored(std::size_t client) const;
+  std::uint64_t flagged(std::size_t client) const;
+  std::uint64_t total_scored() const { return total_scored_; }
+  std::uint64_t total_flagged() const { return total_flagged_; }
+  // EMA of cohort median delta norms (0 until the first scored cohort)
+  // — doubles as a calibration probe for clip_norm-style knobs.
+  double baseline_norm() const { return baseline_norm_; }
+
+ private:
+  AnomalyConfig config_;
+  double baseline_norm_ = 0.0;
+  bool has_baseline_ = false;
+  std::vector<std::uint64_t> scored_;   // indexed by client
+  std::vector<std::uint64_t> flagged_;  // indexed by client
+  std::uint64_t total_scored_ = 0;
+  std::uint64_t total_flagged_ = 0;
+};
+
+struct ReputationConfig {
+  // Multiplicative weight penalty per flag (in (0, 1)).
+  double flag_penalty = 0.25;
+  // Per clean observation the weight recovers this fraction of its
+  // remaining gap to 1.0 (in [0, 1]) — a false positive is forgiven
+  // over tens of rounds, a repeat offender never climbs back.
+  double clean_reward = 0.05;
+  // Weight floor (in (0, 1]): nobody is silenced outright, so a
+  // reformed or misjudged client keeps being re-examined occasionally.
+  double floor = 0.02;
+};
+
+// Persistent per-client sampling weights driven by detector verdicts.
+// Clients start at weight 1.0 and are tracked lazily — the book grows
+// to the highest client index observed. Callers may keep one book
+// across runs (FLRunOptions::reputation) to carry knowledge forward.
+class ReputationBook {
+ public:
+  explicit ReputationBook(ReputationConfig config = {});
+
+  const ReputationConfig& config() const { return config_; }
+
+  // Folds one verdict into the client's weight.
+  void observe(std::size_t client, bool flagged);
+
+  // Sampling weight in [floor, 1]; unobserved clients weigh 1.0.
+  double weight(std::size_t client) const;
+  std::uint64_t flags(std::size_t client) const;
+  std::size_t known_clients() const { return weights_.size(); }
+
+ private:
+  ReputationConfig config_;
+  std::vector<double> weights_;
+  std::vector<std::uint64_t> flags_;
+};
+
+}  // namespace fleda

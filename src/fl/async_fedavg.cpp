@@ -1,5 +1,6 @@
 #include "fl/async_fedavg.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 #include <memory>
@@ -27,6 +28,9 @@ AsyncFedAvg::AsyncFedAvg(AsyncConfig config) : config_(config) {
   }
   if (config_.max_in_flight < 0) {
     throw std::invalid_argument("AsyncFedAvg: max_in_flight < 0");
+  }
+  if (config_.staleness_gate_age < 0) {
+    throw std::invalid_argument("AsyncFedAvg: staleness_gate_age < 0");
   }
   // Validates server_mix and the discount parameters.
   StalenessDiscountedMix(staleness_policy(config_), config_.server_mix);
@@ -116,6 +120,20 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
         sink->record_staleness(version - b.dispatched_version);
       }
     }
+    // Server-side detection scores the buffered deltas before they are
+    // consumed (pure observer — no-op without a detector).
+    if (sim.anomaly_detector() != nullptr) {
+      std::vector<std::size_t> senders;
+      std::vector<const ModelParameters*> deltas;
+      senders.reserve(buffer.size());
+      deltas.reserve(buffer.size());
+      for (const Buffered& b : buffer) {
+        if (b.client < 0) continue;
+        senders.push_back(static_cast<std::size_t>(b.client));
+        deltas.push_back(&b.delta);
+      }
+      sim.observe_cohort_deltas(senders, deltas);
+    }
     if (rule->folds_into_current()) {
       global = rule->aggregate(global, cohort);
     } else {
@@ -150,10 +168,38 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   std::deque<std::size_t> waiting;
   std::function<void(std::size_t)> start_chain;
 
+  // The staleness-aware effective cap: when the oldest buffered update
+  // is more than staleness_gate_age versions behind, shed one slot per
+  // excess version (never below 1). With staleness_gate_age == 0 this
+  // is exactly `cap`, so the run is event-for-event identical to the
+  // fixed gate. All callers run serially on the engine thread.
+  auto effective_cap = [&]() {
+    if (cap <= 0 || config_.staleness_gate_age <= 0) return cap;
+    int oldest = version;
+    for (const Buffered& b : buffer) {
+      oldest = std::min(oldest, b.dispatched_version);
+    }
+    const int excess = (version - oldest) - config_.staleness_gate_age;
+    return excess > 0 ? std::max(1, cap - excess) : cap;
+  };
+  // Fills free slots from the FIFO queue. Under the fixed gate at most
+  // one slot frees at a time (one iteration — the historical
+  // behavior); after an aggregation the staleness gate can reopen
+  // several slots at once, hence the loop.
+  auto drain_waiting = [&]() {
+    while (!waiting.empty() && version < opts.rounds &&
+           in_flight < effective_cap()) {
+      const std::size_t next = waiting.front();
+      waiting.pop_front();
+      ++in_flight;
+      start_chain(next);
+    }
+  };
+
   // (Re)requests work for client k, taking a slot or queueing.
   auto request_dispatch = [&](std::size_t k) {
     if (version >= opts.rounds) return;  // run over: stop feeding work
-    if (cap > 0 && in_flight >= cap) {
+    if (cap > 0 && in_flight >= effective_cap()) {
       waiting.push_back(k);
       return;
     }
@@ -161,15 +207,10 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
     start_chain(k);
   };
   // Client k's chain ended (delivered, lost, or permanently offline):
-  // the freed slot goes to the longest-waiting client.
+  // freed slots go to the longest-waiting clients.
   auto finish_chain = [&]() {
     --in_flight;
-    if (!waiting.empty() && version < opts.rounds) {
-      const std::size_t next = waiting.front();
-      waiting.pop_front();
-      ++in_flight;
-      start_chain(next);
-    }
+    drain_waiting();
   };
 
   // Dispatches the current global model to client k and schedules its
@@ -213,8 +254,14 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                                                                  cfg);
                 const AttackSpec& attack = engine.profile(k).attack;
                 if (attack.kind != AttackKind::kNone) {
+                  // Event callbacks run serially on the engine thread,
+                  // so the adaptive state deque is safe to grow here.
+                  AttackState* state =
+                      attack.kind == AttackKind::kAdaptiveScaled
+                          ? sim.attack_state(k)
+                          : nullptr;
                   update = apply_attack(attack, std::move(update), *received,
-                                        k, attack_sends[k]++);
+                                        k, attack_sends[k]++, state);
                 }
                 std::uint64_t up_bytes = 0;
                 ModelParameters server_view =

@@ -37,6 +37,14 @@ struct AsyncConfig {
   // fleet no longer keeps all thousand clients busy (nor needs server
   // state for all of them at once). 0 = unlimited (every client loops).
   int max_in_flight = 0;
+  // Staleness-aware tightening of the dispatch gate: when the oldest
+  // buffered update is more than this many versions behind the current
+  // model, the effective in-flight cap shrinks by one per excess
+  // version (never below 1) — the server stops fanning out fresh work
+  // it would mostly discount away, and the buffer catches up. Only
+  // meaningful with max_in_flight > 0. 0 disables the tightening, and
+  // the run is event-for-event identical to the fixed-cap gate.
+  int staleness_gate_age = 0;
 };
 
 class AsyncFedAvg : public FederatedAlgorithm {

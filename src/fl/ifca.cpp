@@ -88,6 +88,15 @@ std::vector<ModelParameters> IFCA::run_rounds(
     // Byzantine members corrupt their upload (nonce = completed
     // channel rounds, as in cohort_local_updates).
     const std::uint64_t round_nonce = sim.channel().stats().rounds.size();
+    // Adaptive attackers' state slots, gathered on the coordinator
+    // thread (deque growth must not race the parallel loop).
+    std::vector<AttackState*> attack_states(cohort.size(), nullptr);
+    for (std::size_t i = 0; i < cohort.size(); ++i) {
+      if (sim.engine().profile(cohort[i]).attack.kind ==
+          AttackKind::kAdaptiveScaled) {
+        attack_states[i] = sim.attack_state(cohort[i]);
+      }
+    }
     std::vector<ModelParameters> updates(cohort.size());
     parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -96,7 +105,8 @@ std::vector<ModelParameters> IFCA::run_rounds(
         const AttackSpec& attack = sim.engine().profile(k).attack;
         if (attack.kind != AttackKind::kNone) {
           updates[i] = apply_attack(attack, std::move(updates[i]),
-                                    *deployed[i], k, round_nonce);
+                                    *deployed[i], k, round_nonce,
+                                    attack_states[i]);
         }
       }
     });
@@ -105,6 +115,9 @@ std::vector<ModelParameters> IFCA::run_rounds(
     // shared delta reference, then the barrier policy prices the round
     // (each member's C serial downloads are in its billed traffic).
     updates = sim.channel().collect(updates, deployed, cohort);
+    // Detection sees the server-side view: decoded update vs the
+    // cluster model each member trained from.
+    sim.observe_cohort_updates(cohort, updates, deployed);
     sim.finish_sync_round(opts.client.steps, cohort);
 
     // 5) Per-cluster aggregation over this round's members, through

@@ -144,6 +144,40 @@ double ModelParameters::squared_distance(const ModelParameters& other) const {
   return acc;
 }
 
+double ModelParameters::squared_l2_distance(
+    const ModelParameters& other) const {
+  if (!structurally_equal(other)) {
+    throw std::invalid_argument("squared_l2_distance: structure mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const float* a = entries_[i].value.data();
+    const float* b = other.entries_[i].value.data();
+    const std::int64_t n = entries_[i].value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(a[j]) - b[j];
+      acc += d * d;
+    }
+  }
+  return acc;
+}
+
+double ModelParameters::dot(const ModelParameters& other) const {
+  if (!structurally_equal(other)) {
+    throw std::invalid_argument("dot: structure mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const float* a = entries_[i].value.data();
+    const float* b = other.entries_[i].value.data();
+    const std::int64_t n = entries_[i].value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(a[j]) * b[j];
+    }
+  }
+  return acc;
+}
+
 ModelParameters ModelParameters::merged_with(
     const ModelParameters& other,
     const std::function<bool(const std::string&)>& take_other) const {

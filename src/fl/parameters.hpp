@@ -49,6 +49,17 @@ class ModelParameters {
   // the FedProx proximal distance.
   double squared_distance(const ModelParameters& other) const;
 
+  // ||a - b||^2 over ALL entries (buffers included, like
+  // squared_l2_norm) — the pairwise distance Krum-style rules score
+  // on: a poisoned buffer must count against its sender too. Computed
+  // without materializing the difference snapshot, so the O(n^2)
+  // pairwise pass over a cohort allocates nothing.
+  double squared_l2_distance(const ModelParameters& other) const;
+
+  // <this, other> over ALL entries — the anomaly detector's cosine
+  // ingredient. Accumulated in double; NaN/Inf operands propagate.
+  double dot(const ModelParameters& other) const;
+
   // ||this||^2 over ALL entries (buffers included). Doubles as the
   // aggregation layer's finiteness probe: the sum is NaN/Inf iff some
   // value is, so one accumulation pass screens a whole update.

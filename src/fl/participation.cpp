@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "fl/anomaly.hpp"
+
 namespace fleda {
 
 std::vector<std::size_t> FullParticipation::select(
@@ -78,6 +80,67 @@ std::vector<std::size_t> AvailabilityAware::select(
   return online;
 }
 
+ReputationWeighted::ReputationWeighted(int sample_size,
+                                       const ReputationBook* book,
+                                       std::uint64_t seed)
+    : sample_size_(sample_size), book_(book), rng_(seed) {
+  if (sample_size <= 0) {
+    throw std::invalid_argument(
+        "ReputationWeighted: sample_size " + std::to_string(sample_size) +
+        " must be positive");
+  }
+  if (book == nullptr) {
+    throw std::invalid_argument(
+        "ReputationWeighted: null ReputationBook — without a book the "
+        "policy would silently sample uniformly (enable anomaly "
+        "detection or pass FLRunOptions::reputation)");
+  }
+}
+
+std::string ReputationWeighted::name() const {
+  return "reputation_weighted(" + std::to_string(sample_size_) + ")";
+}
+
+std::vector<std::size_t> ReputationWeighted::select(
+    const ParticipationContext& ctx) {
+  const std::size_t n = ctx.num_clients;
+  if (static_cast<std::size_t>(sample_size_) >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;  // C >= K: documented full-participation degeneration
+  }
+  // Weighted sampling without replacement: C prefix-sum walks over the
+  // live weights, zeroing each pick. O(C * K) on the coordinator
+  // thread, and the rng advances exactly C draws per round, so the
+  // cohort sequence depends only on (seed, round, book state).
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = book_->weight(k);
+    total += weights[k];
+  }
+  const std::size_t c = static_cast<std::size_t>(sample_size_);
+  std::vector<std::size_t> cohort;
+  cohort.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    double target = rng_.uniform(0.0, total);
+    std::size_t pick = n;  // fallback: last nonzero weight
+    for (std::size_t k = 0; k < n; ++k) {
+      if (weights[k] <= 0.0) continue;
+      pick = k;
+      target -= weights[k];
+      if (target < 0.0) break;
+    }
+    // total > 0 is guaranteed (book weights are floored above zero),
+    // so a pick always exists while fewer than n are taken.
+    cohort.push_back(pick);
+    total -= weights[pick];
+    weights[pick] = 0.0;
+  }
+  std::sort(cohort.begin(), cohort.end());
+  return cohort;
+}
+
 std::string to_string(ParticipationKind kind) {
   switch (kind) {
     case ParticipationKind::kFull:
@@ -86,12 +149,14 @@ std::string to_string(ParticipationKind kind) {
       return "uniform_sample";
     case ParticipationKind::kAvailabilityAware:
       return "availability_aware";
+    case ParticipationKind::kReputationWeighted:
+      return "reputation_weighted";
   }
   return "?";
 }
 
 std::unique_ptr<ParticipationPolicy> make_participation_policy(
-    const ParticipationConfig& config) {
+    const ParticipationConfig& config, const ReputationBook* reputation) {
   switch (config.kind) {
     case ParticipationKind::kFull:
       return std::make_unique<FullParticipation>();
@@ -105,6 +170,9 @@ std::unique_ptr<ParticipationPolicy> make_participation_policy(
       }
       return std::make_unique<AvailabilityAware>(std::move(base));
     }
+    case ParticipationKind::kReputationWeighted:
+      return std::make_unique<ReputationWeighted>(config.sample_size,
+                                                  reputation, config.seed);
   }
   throw std::invalid_argument("make_participation_policy: unknown kind");
 }

@@ -27,6 +27,8 @@
 
 namespace fleda {
 
+class ReputationBook;
+
 // Everything a policy may consult when picking a cohort.
 struct ParticipationContext {
   int round = 0;               // round index within the run
@@ -92,6 +94,31 @@ class AvailabilityAware : public ParticipationPolicy {
   std::unique_ptr<ParticipationPolicy> base_;
 };
 
+// C clients sampled without replacement with probability proportional
+// to their ReputationBook weight — the reactive half of the
+// detect->react loop: clients the AnomalyDetector keeps flagging drop
+// toward the book's weight floor and are sampled rarely, honest
+// clients keep their uniform share. The book outlives the policy
+// (caller-owned, typically by FederatedAlgorithm::run or a persistent
+// caller); the policy only reads it at select time, on the
+// coordinator thread, with its own Rng — determinism matches
+// UniformSample's.
+class ReputationWeighted : public ParticipationPolicy {
+ public:
+  // Throws std::invalid_argument when sample_size <= 0 or book is
+  // null (an unreferenced book would silently degrade to uniform).
+  ReputationWeighted(int sample_size, const ReputationBook* book,
+                     std::uint64_t seed = 0x5A3D1EULL);
+
+  std::string name() const override;
+  std::vector<std::size_t> select(const ParticipationContext& ctx) override;
+
+ private:
+  int sample_size_;
+  const ReputationBook* book_;
+  Rng rng_;
+};
+
 // Declarative form carried by FLRunOptions / ExperimentConfig.
 enum class ParticipationKind : std::uint8_t {
   kFull = 0,
@@ -99,21 +126,28 @@ enum class ParticipationKind : std::uint8_t {
   // Online-filtered cohort; combined with sample_size > 0 the filter
   // applies to the sampled cohort (so a round can be smaller than C).
   kAvailabilityAware = 2,
+  // Reputation-weighted sampling (requires a ReputationBook — see
+  // make_participation_policy and FLRunOptions::reputation).
+  kReputationWeighted = 3,
 };
 
 std::string to_string(ParticipationKind kind);
 
 struct ParticipationConfig {
   ParticipationKind kind = ParticipationKind::kFull;
-  // C for kUniformSample (must be positive — UniformSample rejects
-  // non-positive sizes) / kAvailabilityAware (<= 0 = filter the full
-  // client set, no sampler).
+  // C for kUniformSample / kReputationWeighted (must be positive —
+  // both samplers reject non-positive sizes) / kAvailabilityAware
+  // (<= 0 = filter the full client set, no sampler).
   int sample_size = 0;
   // Seed of the cohort-sampling stream (independent of model init).
   std::uint64_t seed = 0x5A3D1EULL;
 };
 
+// `reputation` is consulted only by kReputationWeighted, which throws
+// a descriptive error when it is null — the caller (normally
+// FederatedAlgorithm::run) owns the book's lifetime.
 std::unique_ptr<ParticipationPolicy> make_participation_policy(
-    const ParticipationConfig& config);
+    const ParticipationConfig& config,
+    const ReputationBook* reputation = nullptr);
 
 }  // namespace fleda

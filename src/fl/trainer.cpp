@@ -29,8 +29,33 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
     }
   }
   sim.set_telemetry(telemetry);
+  // Defense wiring: an explicit detector/book wins; otherwise run()
+  // creates private ones when the config calls for them. The book only
+  // fills when a detector feeds it, so reputation-weighted sampling
+  // without either is a silent uniform fallback — rejected instead.
+  std::unique_ptr<AnomalyDetector> own_detector;
+  AnomalyDetector* detector = opts.detector;
+  if (detector == nullptr && opts.anomaly.enabled) {
+    own_detector = std::make_unique<AnomalyDetector>(opts.anomaly);
+    detector = own_detector.get();
+  }
+  std::unique_ptr<ReputationBook> own_book;
+  ReputationBook* reputation = opts.reputation;
+  const bool wants_reputation =
+      opts.participation.kind == ParticipationKind::kReputationWeighted;
+  if (reputation == nullptr && wants_reputation) {
+    if (detector == nullptr) {
+      throw std::invalid_argument(
+          "FederatedAlgorithm::run: kReputationWeighted participation "
+          "needs verdicts to weight by — set FLRunOptions::anomaly.enabled "
+          "(or pass detector/reputation explicitly)");
+    }
+    own_book = std::make_unique<ReputationBook>();
+    reputation = own_book.get();
+  }
+  sim.set_anomaly(detector, reputation);
   std::unique_ptr<ParticipationPolicy> participation =
-      make_participation_policy(opts.participation);
+      make_participation_policy(opts.participation, reputation);
   std::vector<ModelParameters> finals =
       run_rounds(clients, factory, opts, sim, *participation);
   if (opts.comm_stats != nullptr) *opts.comm_stats = channel.stats();
@@ -139,6 +164,17 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   // and corrupts what it sends. Completed channel rounds disambiguate
   // repeated attacks by the same client (the noise-stream nonce).
   const std::uint64_t round_nonce = channel.stats().rounds.size();
+  // Adaptive attackers carry state (their trajectory estimate) across
+  // rounds. Slot pointers are gathered here on the coordinator thread —
+  // growing the deque inside the parallel loop would race — and each
+  // slot is touched only by its owning client's iteration.
+  std::vector<AttackState*> attack_states(cohort.size(), nullptr);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    if (sim.engine().profile(cohort[i]).attack.kind ==
+        AttackKind::kAdaptiveScaled) {
+      attack_states[i] = sim.attack_state(cohort[i]);
+    }
+  }
   std::vector<ModelParameters> updates(cohort.size());
   parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -147,7 +183,7 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
       const AttackSpec& attack = sim.engine().profile(k).attack;
       if (attack.kind != AttackKind::kNone) {
         updates[i] = apply_attack(attack, std::move(updates[i]), *received[i],
-                                  k, round_nonce);
+                                  k, round_nonce, attack_states[i]);
       }
     }
   });
@@ -158,6 +194,9 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   for (const auto& r : received) references.push_back(r.get());
   std::vector<ModelParameters> collected =
       channel.collect(updates, references, cohort);
+  // Server-side detection sees exactly what the aggregator will see:
+  // the collected (decoded) updates against the deployed references.
+  sim.observe_cohort_updates(cohort, collected, references);
   if (TelemetrySink* sink = sim.telemetry()) {
     int attackers = 0;
     for (std::size_t k : cohort) {

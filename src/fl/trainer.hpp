@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fl/anomaly.hpp"
 #include "fl/client.hpp"
 #include "fl/participation.hpp"
 #include "fl/server.hpp"
@@ -65,6 +66,18 @@ struct FLRunOptions {
   // close one RoundTelemetry record per channel round. When null, run()
   // still honors FLEDA_TELEMETRY_FILE by streaming to a private sink.
   TelemetrySink* telemetry = nullptr;
+  // Server-side attacker detection (fl/anomaly.hpp). When
+  // anomaly.enabled, run() scores every cohort's update deltas and
+  // records flags into telemetry — a pure observer: results are
+  // bit-identical with detection on or off. `detector` / `reputation`
+  // optionally supply caller-owned instances (to read tallies after
+  // the run, or to carry a reputation book across runs); when null,
+  // run() creates private ones as needed. kReputationWeighted
+  // participation requires a book: either pass `reputation` or enable
+  // the detector so run() can build the detect->react loop itself.
+  AnomalyConfig anomaly;
+  AnomalyDetector* detector = nullptr;
+  ReputationBook* reputation = nullptr;
   // Optional progress hook: (round, per-client deployed parameters).
   std::function<void(int, const std::vector<ModelParameters>&)> on_round;
 };

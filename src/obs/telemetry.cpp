@@ -49,9 +49,11 @@ std::string RoundTelemetry::to_json() const {
   std::string out;
   std::snprintf(buf, sizeof(buf),
                 "{\"round\":%d,\"sim_time_s\":%.6f,\"cohort_size\":%d,"
-                "\"attacker_flags\":%d,\"uplink_bytes\":%llu,"
+                "\"attackers_true\":%d,\"attackers_detected\":%d,"
+                "\"uplink_bytes\":%llu,"
                 "\"downlink_bytes\":%llu,\"staleness\":{",
-                round, sim_time_s, cohort_size, attacker_flags,
+                round, sim_time_s, cohort_size, attackers_true,
+                attackers_detected,
                 static_cast<unsigned long long>(uplink_bytes),
                 static_cast<unsigned long long>(downlink_bytes));
   out += buf;
@@ -95,7 +97,11 @@ void TelemetrySink::capture_baselines() {
 
 void TelemetrySink::record_cohort(int size, int attackers) {
   open_.cohort_size += size;
-  open_.attacker_flags += attackers;
+  open_.attackers_true += attackers;
+}
+
+void TelemetrySink::record_detected(int count) {
+  open_.attackers_detected += count;
 }
 
 void TelemetrySink::record_staleness(int staleness) {

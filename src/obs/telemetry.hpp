@@ -41,7 +41,13 @@ struct RoundTelemetry {
   int round = 0;
   double sim_time_s = 0.0;       // simulated clock at round close
   int cohort_size = 0;           // updates that reached the aggregator
-  int attacker_flags = 0;        // cohort members with an attack profile
+  // Oracle knowledge vs server inference, kept apart so detection
+  // precision/recall is measurable from the records alone:
+  // attackers_true counts cohort members with a ground-truth attack
+  // profile (what the simulator knows), attackers_detected counts the
+  // updates the AnomalyDetector flagged (what the server inferred).
+  int attackers_true = 0;
+  int attackers_detected = 0;
   std::uint64_t uplink_bytes = 0;
   std::uint64_t downlink_bytes = 0;
   StalenessHistogram staleness;
@@ -68,8 +74,13 @@ class TelemetrySink {
   TelemetrySink(const TelemetrySink&) = delete;
   TelemetrySink& operator=(const TelemetrySink&) = delete;
 
-  // Called once per round with the cohort handed to the aggregator.
+  // Called once per round with the cohort handed to the aggregator;
+  // `attackers` is the ground truth (cohort members carrying an attack
+  // profile).
   void record_cohort(int size, int attackers);
+  // Called by the AnomalyDetector path with the number of updates it
+  // flagged this round (the server's inference).
+  void record_detected(int count);
   // Called once per applied update with its staleness in versions.
   void record_staleness(int staleness);
 

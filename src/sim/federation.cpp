@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fl/anomaly.hpp"
 #include "obs/telemetry.hpp"
 
 namespace fleda {
@@ -16,6 +17,56 @@ void FederationSim::close_telemetry_round() {
   const RoundCommStats& r = rounds.back();
   telemetry_->close_round(r.round, engine_.now(), r.uplink_bytes,
                           r.downlink_bytes);
+}
+
+void FederationSim::set_anomaly(AnomalyDetector* detector,
+                                ReputationBook* reputation) {
+  detector_ = detector;
+  reputation_ = reputation;
+}
+
+void FederationSim::observe_cohort_updates(
+    const std::vector<std::size_t>& cohort,
+    const std::vector<ModelParameters>& updates,
+    const std::vector<const ModelParameters*>& references) {
+  if (detector_ == nullptr) return;
+  if (cohort.size() != updates.size() || cohort.size() != references.size()) {
+    throw std::invalid_argument(
+        "FederationSim::observe_cohort_updates: cohort/updates/references "
+        "size mismatch");
+  }
+  std::vector<ModelParameters> deltas(cohort.size());
+  std::vector<const ModelParameters*> delta_ptrs(cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    deltas[i] = updates[i];
+    if (references[i] != nullptr &&
+        deltas[i].structurally_equal(*references[i])) {
+      deltas[i].add_scaled(*references[i], -1.0);
+    }
+    delta_ptrs[i] = &deltas[i];
+  }
+  observe_cohort_deltas(cohort, delta_ptrs);
+}
+
+void FederationSim::observe_cohort_deltas(
+    const std::vector<std::size_t>& clients,
+    const std::vector<const ModelParameters*>& deltas) {
+  if (detector_ == nullptr) return;
+  const std::vector<UpdateVerdict> verdicts =
+      detector_->score_cohort(clients, deltas);
+  int detected = 0;
+  for (const UpdateVerdict& v : verdicts) {
+    if (v.flagged) ++detected;
+    if (reputation_ != nullptr) reputation_->observe(v.client, v.flagged);
+  }
+  if (telemetry_ != nullptr && detected > 0) {
+    telemetry_->record_detected(detected);
+  }
+}
+
+AttackState* FederationSim::attack_state(std::size_t client) {
+  while (attack_states_.size() <= client) attack_states_.emplace_back();
+  return &attack_states_[client];
 }
 
 std::vector<ClientLink> links_from_profiles(const SimConfig& config,

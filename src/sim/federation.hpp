@@ -21,11 +21,16 @@
 // and schedule their own per-message events directly on engine().
 #pragma once
 
+#include <deque>
+
 #include "comm/channel.hpp"
 #include "sim/engine.hpp"
 
 namespace fleda {
 
+class AnomalyDetector;
+class ModelParameters;
+class ReputationBook;
 class TelemetrySink;
 
 // ClientProfile link overrides, as Channel link entries.
@@ -50,6 +55,34 @@ class FederationSim {
   TelemetrySink* telemetry() const { return telemetry_; }
   void close_telemetry_round();
 
+  // Optional server-side defense hooks (fl/anomaly.hpp). Both pointers
+  // are caller-owned and may be null independently: a detector alone
+  // records verdicts into telemetry; adding a book turns verdicts into
+  // reputation updates. Pure observers — wiring them changes no model
+  // math. Coordinator thread only.
+  void set_anomaly(AnomalyDetector* detector, ReputationBook* reputation);
+  AnomalyDetector* anomaly_detector() const { return detector_; }
+  ReputationBook* reputation() const { return reputation_; }
+
+  // Scores one cohort's updates against the references each client
+  // trained from (deltas = update - reference, computed here), feeds
+  // verdicts to the reputation book and the telemetry sink. No-op when
+  // no detector is set. `references[i]` is the model deployed to
+  // cohort[i]; `updates[i]` its returned parameters.
+  void observe_cohort_updates(const std::vector<std::size_t>& cohort,
+                              const std::vector<ModelParameters>& updates,
+                              const std::vector<const ModelParameters*>& references);
+  // Same, for callers that already hold deltas (async buffers).
+  void observe_cohort_deltas(const std::vector<std::size_t>& clients,
+                             const std::vector<const ModelParameters*>& deltas);
+
+  // Per-client adaptive-attack state (sim/profile.hpp AttackState),
+  // created lazily. Backed by a deque so references stay stable while
+  // the table grows; each slot is only ever touched by its owning
+  // client's apply_attack call, so handing slot pointers to a
+  // parallel-for over distinct clients is race-free.
+  AttackState* attack_state(std::size_t client);
+
   // Sync barrier over a cohort: schedules each member's (download ->
   // `steps` local steps -> upload) chain from the traffic billed this
   // round, runs the events, and closes the channel round at the
@@ -65,6 +98,9 @@ class FederationSim {
   Channel& channel_;
   SimEngine& engine_;
   TelemetrySink* telemetry_ = nullptr;
+  AnomalyDetector* detector_ = nullptr;
+  ReputationBook* reputation_ = nullptr;
+  std::deque<AttackState> attack_states_;
   int round_index_ = 0;
 };
 

@@ -1,7 +1,9 @@
 #include "sim/profile.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "fl/parameters.hpp"
@@ -19,15 +21,27 @@ const char* to_string(AttackKind kind) {
       return "scaled";
     case AttackKind::kGaussianNoise:
       return "gaussian_noise";
+    case AttackKind::kAdaptiveScaled:
+      return "adaptive_scaled";
+    case AttackKind::kCollusion:
+      return "collusion";
   }
   return "?";
 }
 
+AttackState::AttackState() = default;
+AttackState::~AttackState() = default;
+AttackState::AttackState(AttackState&&) noexcept = default;
+AttackState& AttackState::operator=(AttackState&&) noexcept = default;
+
 namespace {
 
 void validate_attack(const AttackSpec& spec) {
-  if (!std::isfinite(spec.scale)) {
-    throw std::invalid_argument("AttackSpec: scale must be finite");
+  if (!std::isfinite(spec.scale) || spec.scale < 0.0) {
+    throw std::invalid_argument(
+        "AttackSpec: scale must be finite and >= 0 (a negative scale "
+        "silently inverted the attack's meaning — use kSignFlip for a "
+        "reversed delta)");
   }
   if (!std::isfinite(spec.noise_stddev) || spec.noise_stddev < 0.0) {
     throw std::invalid_argument(
@@ -35,11 +49,33 @@ void validate_attack(const AttackSpec& spec) {
   }
 }
 
+// Feeds this send's broadcast reference into the adaptive attacker's
+// trajectory memory: step_norm_ema tracks ||ref_now - ref_prev|| over
+// the client's successive sends, the attacker's view of how far the
+// server's admitted aggregate moves the model between its downloads.
+void observe_trajectory(AttackState& state, const ModelParameters& reference) {
+  if (state.prev_reference != nullptr &&
+      state.prev_reference->structurally_equal(reference)) {
+    const double step =
+        std::sqrt(state.prev_reference->squared_l2_distance(reference));
+    if (std::isfinite(step) && step > 0.0) {
+      state.step_norm_ema = state.observations == 0
+                                ? step
+                                : 0.5 * state.step_norm_ema + 0.5 * step;
+      ++state.observations;
+    }
+    *state.prev_reference = reference;
+  } else {
+    state.prev_reference = std::make_unique<ModelParameters>(reference);
+  }
+}
+
 }  // namespace
 
 ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
                              const ModelParameters& reference,
-                             std::size_t client, std::uint64_t nonce) {
+                             std::size_t client, std::uint64_t nonce,
+                             AttackState* state) {
   if (spec.kind == AttackKind::kNone) return update;
   validate_attack(spec);
   switch (spec.kind) {
@@ -70,10 +106,66 @@ ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
       }
       return update;
     }
+    case AttackKind::kAdaptiveScaled: {
+      if (state != nullptr) observe_trajectory(*state, reference);
+      ModelParameters delta = std::move(update);
+      delta.add_scaled(reference, -1.0);
+      const double honest_norm = std::sqrt(delta.squared_l2_norm());
+      // Tolerance estimate: the EMA of observed server steps once the
+      // trajectory has been seen, else the honest delta's own norm —
+      // an adaptive attacker with no information degrades to a plain
+      // sign flip at honest magnitude (which clipping cannot punish).
+      const double tolerance =
+          (state != nullptr && state->observations > 0)
+              ? state->step_norm_ema
+              : honest_norm;
+      const double magnitude = spec.scale * tolerance;
+      ModelParameters attacked = reference;
+      if (honest_norm > 0.0 && std::isfinite(honest_norm)) {
+        // Reversed honest direction, magnitude just inside what the
+        // defense is believed to admit.
+        attacked.add_scaled(delta, -magnitude / honest_norm);
+      }
+      return attacked;
+    }
+    case AttackKind::kCollusion: {
+      ModelParameters delta = std::move(update);
+      delta.add_scaled(reference, -1.0);
+      const double honest_norm = std::sqrt(delta.squared_l2_norm());
+      // The shared direction depends on the spec seed only — every
+      // colluder with this spec pushes the model the same way, every
+      // send. (Deliberately NOT forked per client/nonce: coordination
+      // is the attack.)
+      Rng stream(spec.seed);
+      ModelParameters direction = reference;
+      double dir_norm_sq = 0.0;
+      for (ParameterEntry& e : direction.mutable_entries()) {
+        float* d = e.value.data();
+        const std::int64_t n = e.value.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+          d[i] = static_cast<float>(stream.normal(0.0, 1.0));
+          dir_norm_sq += static_cast<double>(d[i]) * d[i];
+        }
+      }
+      ModelParameters attacked = reference;
+      if (dir_norm_sq > 0.0 && honest_norm > 0.0 &&
+          std::isfinite(honest_norm)) {
+        attacked.add_scaled(direction, spec.scale * honest_norm /
+                                           std::sqrt(dir_norm_sq));
+      }
+      return attacked;
+    }
     case AttackKind::kNone:
       break;
   }
   return update;
+}
+
+ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
+                             const ModelParameters& reference,
+                             std::size_t client, std::uint64_t nonce) {
+  return apply_attack(spec, std::move(update), reference, client, nonce,
+                      /*state=*/nullptr);
 }
 
 bool ClientProfile::is_online(double t) const {
@@ -171,14 +263,61 @@ void add_attackers(SimConfig& config, std::size_t num_attackers,
   }
 }
 
+SimConfig SimConfig::diurnal(std::size_t n, double day_s, int zones,
+                             double night_fraction, int days) {
+  if (!std::isfinite(day_s) || day_s <= 0.0) {
+    throw std::invalid_argument("diurnal: day_s must be finite and > 0");
+  }
+  if (zones < 1) {
+    throw std::invalid_argument("diurnal: zones must be >= 1");
+  }
+  if (!std::isfinite(night_fraction) || night_fraction < 0.0 ||
+      night_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "diurnal: night_fraction must be in [0, 1) — a full-day night "
+        "would make a zone permanently offline");
+  }
+  if (days < 0) {
+    throw std::invalid_argument("diurnal: days must be >= 0");
+  }
+  SimConfig config = uniform(n);
+  if (night_fraction == 0.0 || days == 0) return config;
+  const double night_s = night_fraction * day_s;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Round-robin zone assignment; zone z's night starts z/zones of a
+    // day later, so at any instant roughly night_fraction of the fleet
+    // is dark — the availability wave the sampler and the async gate
+    // must ride out.
+    const int z = static_cast<int>(k % static_cast<std::size_t>(zones));
+    const double zone_phase =
+        day_s * static_cast<double>(z) / static_cast<double>(zones);
+    add_periodic_dropout(config, k, zone_phase, day_s, night_s, days);
+  }
+  return config;
+}
+
 void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,
                           double period, double duration, int repeats) {
   if (idx >= config.profiles.size()) {
     throw std::invalid_argument("add_periodic_dropout: idx out of range");
   }
-  if (period <= 0.0 || duration <= 0.0 || duration > period) {
+  if (!std::isfinite(phase) || phase < 0.0) {
     throw std::invalid_argument(
-        "add_periodic_dropout: need 0 < duration <= period");
+        "add_periodic_dropout: phase " + std::to_string(phase) +
+        " must be finite and >= 0 (windows before t=0 never fire and "
+        "used to shift the whole schedule silently)");
+  }
+  if (!std::isfinite(period) || !std::isfinite(duration) || period <= 0.0 ||
+      duration <= 0.0 || duration > period) {
+    throw std::invalid_argument(
+        "add_periodic_dropout: need finite 0 < duration <= period (got "
+        "period=" + std::to_string(period) +
+        ", duration=" + std::to_string(duration) + ")");
+  }
+  if (repeats < 0) {
+    throw std::invalid_argument(
+        "add_periodic_dropout: repeats " + std::to_string(repeats) +
+        " must be >= 0");
   }
   for (int i = 0; i < repeats; ++i) {
     const double begin = phase + static_cast<double>(i) * period;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "comm/channel.hpp"
@@ -41,26 +42,68 @@ enum class AttackKind : std::uint8_t {
   // update <- update + N(0, noise_stddev^2) per coordinate, from a
   // deterministic per-(seed, client, nonce) stream.
   kGaussianNoise = 3,
+  // Adaptive tolerance probing: the attacker watches the broadcast
+  // model trajectory (AttackState), estimates the norm of the step the
+  // server actually admits per aggregation, and uploads its honest
+  // delta REVERSED at scale * that estimate — large enough to hurt,
+  // small enough that a norm-clip/trim defense tuned to honest
+  // magnitudes never reacts. Before the first trajectory observation
+  // it falls back to the honest delta's own norm.
+  kAdaptiveScaled = 4,
+  // Colluding attackers: every kCollusion client with the same spec
+  // seed uploads the SAME unit poison direction (drawn once from
+  // seed, independent of client/nonce), magnitude scale * its honest
+  // delta norm — the coordinated drift that per-client defenses miss.
+  kCollusion = 5,
 };
 
 const char* to_string(AttackKind kind);
 
 struct AttackSpec {
   AttackKind kind = AttackKind::kNone;
-  double scale = 1.0;         // kSignFlip / kScaled delta multiplier
+  // kSignFlip / kScaled delta multiplier; for kAdaptiveScaled the
+  // fraction of the estimated admitted-step norm the attacker uses
+  // (1.0 = right at the estimated tolerance); for kCollusion the
+  // multiple of the honest delta norm sent along the shared direction.
+  double scale = 1.0;
   double noise_stddev = 1.0;  // kGaussianNoise per-coordinate sigma
   // Root seed of the attacker's noise stream; apply_attack forks a
   // per-(client, nonce) sub-stream so runs replay bit-identically
-  // regardless of host thread count.
+  // regardless of host thread count. kCollusion derives the SHARED
+  // direction from this seed alone — same seed, same poison.
   std::uint64_t seed = 0xBADF00Dull;
+};
+
+// Per-client state an adaptive attacker carries across its own sends:
+// the previously observed broadcast reference and an EMA of the norm
+// of successive reference steps — the attacker's estimate of how big
+// an update the server's defense admits. Owned by the simulation
+// (FederationSim hands each client its slot); only the owning client
+// touches it, so parallel cohort loops stay race-free.
+struct AttackState {
+  AttackState();
+  ~AttackState();
+  AttackState(AttackState&&) noexcept;
+  AttackState& operator=(AttackState&&) noexcept;
+
+  std::unique_ptr<ModelParameters> prev_reference;
+  double step_norm_ema = 0.0;
+  std::uint64_t observations = 0;
 };
 
 // Applies `spec` to a client's outgoing update. `reference` is the
 // model the client received this round (the delta anchor); `nonce`
 // disambiguates repeated sends by one client (round index for the
 // sync barrier, dispatched model version for async chains). kNone
-// returns the update unchanged. Throws std::invalid_argument on a
-// non-finite scale or negative/non-finite noise_stddev.
+// returns the update unchanged. `state` carries the adaptive
+// attacker's trajectory memory — kAdaptiveScaled reads and updates it
+// (null: the attacker falls back to its honest delta norm every
+// send); the other kinds ignore it. Throws std::invalid_argument on a
+// non-finite/negative scale or negative/non-finite noise_stddev.
+ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
+                             const ModelParameters& reference,
+                             std::size_t client, std::uint64_t nonce,
+                             AttackState* state);
 ModelParameters apply_attack(const AttackSpec& spec, ModelParameters update,
                              const ModelParameters& reference,
                              std::size_t client, std::uint64_t nonce);
@@ -111,11 +154,21 @@ struct SimConfig {
   // plus add_attackers).
   static SimConfig with_attackers(std::size_t n, std::size_t num_attackers,
                                   const AttackSpec& spec);
+  // Diurnal time-zone availability waves: n reference clients spread
+  // round-robin over `zones` equal time-zone cohorts; zone z is
+  // offline ("night") for night_fraction of every day_s-second day,
+  // with the window phased z/zones of a day later per zone, repeated
+  // for `days` days. Requires day_s > 0 finite, zones >= 1,
+  // night_fraction in [0, 1), days >= 0.
+  static SimConfig diurnal(std::size_t n, double day_s, int zones,
+                           double night_fraction, int days);
 };
 
 // Adds periodic offline windows to client `idx` of `config`: offline
 // during [phase + i*period, phase + i*period + duration) for
-// i = 0..repeats-1.
+// i = 0..repeats-1. Requires finite inputs, phase >= 0,
+// 0 < duration <= period, and repeats >= 0 (descriptive errors — a
+// negative phase or period used to build silent-nonsense scenarios).
 void add_periodic_dropout(SimConfig& config, std::size_t idx, double phase,
                           double period, double duration, int repeats);
 

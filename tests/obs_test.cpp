@@ -257,6 +257,7 @@ TEST(Telemetry, SinkAccumulatesAndStreamsJsonl) {
   {
     TelemetrySink sink(path);
     sink.record_cohort(20, 2);
+    sink.record_detected(3);
     sink.record_staleness(0);
     sink.record_staleness(3);
     sink.close_round(0, 1.5, 1000, 2000);
@@ -268,7 +269,8 @@ TEST(Telemetry, SinkAccumulatesAndStreamsJsonl) {
     EXPECT_EQ(r0.round, 0);
     EXPECT_DOUBLE_EQ(r0.sim_time_s, 1.5);
     EXPECT_EQ(r0.cohort_size, 20);
-    EXPECT_EQ(r0.attacker_flags, 2);
+    EXPECT_EQ(r0.attackers_true, 2);
+    EXPECT_EQ(r0.attackers_detected, 3);
     EXPECT_EQ(r0.uplink_bytes, 1000u);
     EXPECT_EQ(r0.downlink_bytes, 2000u);
     EXPECT_EQ(r0.staleness.counts[0], 1u);
@@ -286,7 +288,8 @@ TEST(Telemetry, SinkAccumulatesAndStreamsJsonl) {
   EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
   EXPECT_NE(line0.find("\"round\":0"), std::string::npos);
   EXPECT_NE(line0.find("\"cohort_size\":20"), std::string::npos);
-  EXPECT_NE(line0.find("\"attacker_flags\":2"), std::string::npos);
+  EXPECT_NE(line0.find("\"attackers_true\":2"), std::string::npos);
+  EXPECT_NE(line0.find("\"attackers_detected\":3"), std::string::npos);
   EXPECT_NE(line0.find("\"uplink_bytes\":1000"), std::string::npos);
   EXPECT_NE(line0.find("\"3-4\":1"), std::string::npos);
   EXPECT_NE(line1.find("\"round\":1"), std::string::npos);
@@ -294,6 +297,7 @@ TEST(Telemetry, SinkAccumulatesAndStreamsJsonl) {
   // The in-memory record and the streamed line agree byte-for-byte.
   TelemetrySink replay;
   replay.record_cohort(20, 2);
+  replay.record_detected(3);
   replay.record_staleness(0);
   replay.record_staleness(3);
   replay.close_round(0, 1.5, 1000, 2000);

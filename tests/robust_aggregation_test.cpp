@@ -226,8 +226,8 @@ TEST(AggregationGuards, ServerFacadeLabelsClientsFromTheCohort) {
 TEST(AggregationRegistryTest, BuiltinsRoundTripByName) {
   auto& registry = AggregationRegistry::global();
   const std::vector<std::string> expected = {
-      "coordinate_median", "norm_clipped_mean", "staleness_mix",
-      "trimmed_mean", "weighted_average"};
+      "coordinate_median", "krum", "multi_krum", "norm_clipped_mean",
+      "staleness_mix", "trimmed_mean", "weighted_average"};
   EXPECT_EQ(registry.names(), expected);  // names() is sorted
 
   AggregationConfig config;
@@ -257,11 +257,11 @@ TEST(AggregationRegistryTest, ConfigKnobsReachTheFactories) {
 
 TEST(AggregationRegistryTest, UnknownNameListsWhatIsRegistered) {
   try {
-    AggregationRegistry::global().create("krum");
+    AggregationRegistry::global().create("bulyan");
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("unknown rule 'krum'"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown rule 'bulyan'"), std::string::npos) << what;
     EXPECT_NE(what.find("coordinate_median"), std::string::npos) << what;
   }
   EXPECT_THROW(make_aggregation_rule(AggregationConfig{}),
