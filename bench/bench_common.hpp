@@ -40,12 +40,27 @@ inline ExperimentConfig make_config(ModelKind model) {
   if (const char* reset = std::getenv("FLEDA_RESET_OPTIMIZER")) {
     cfg.reset_optimizer = std::atoi(reset) != 0;
   }
+  // FLEDA_STREAMING=1 — opt into the streaming sharded aggregation
+  // path (fold each decoded upload into per-lane accumulators instead
+  // of materializing the cohort; see README "Scaling"). Same result up
+  // to float reassociation, NOT bit-identical to the dense path.
+  if (const char* streaming = std::getenv("FLEDA_STREAMING")) {
+    cfg.aggregation.streaming = std::atoi(streaming) != 0;
+  }
+  // FLEDA_AGG_SHARDS — shard count for the streaming merge/finish
+  // elementwise passes (0 = one shard per pool thread).
+  if (const char* shards = std::getenv("FLEDA_AGG_SHARDS")) {
+    cfg.aggregation.shards = static_cast<std::size_t>(std::atoi(shards));
+  }
   // FLEDA_PARTICIPATION=kind[:C] — cohort policy by name ("full",
   // "uniform" / "uniform_sample", "availability" / "availability_aware",
-  // "reputation" / "reputation_weighted"), with an optional sample
+  // "reputation" / "reputation_weighted", "importance" /
+  // "importance_sample" / "importance_loss"), with an optional sample
   // size after a colon (e.g. "uniform:20"). The reputation policy
   // needs detector verdicts, so picking it also enables anomaly
   // detection (a pure observer — it changes no model math).
+  // "importance_loss" scales each client's sample-count weight by its
+  // last training loss (ParticipationConfig::loss_weighted).
   if (const char* participation = std::getenv("FLEDA_PARTICIPATION")) {
     std::string spec(participation);
     const std::size_t colon = spec.find(':');
@@ -62,9 +77,13 @@ inline ExperimentConfig make_config(ModelKind model) {
     } else if (spec == "reputation" || spec == "reputation_weighted") {
       cfg.participation.kind = ParticipationKind::kReputationWeighted;
       cfg.anomaly.enabled = true;
+    } else if (spec == "importance" || spec == "importance_sample" ||
+               spec == "importance_loss") {
+      cfg.participation.kind = ParticipationKind::kImportanceSample;
+      cfg.participation.loss_weighted = spec == "importance_loss";
     } else {
       FLEDA_LOG_ERROR("FLEDA_PARTICIPATION: unknown policy '%s' (expected "
-                      "full|uniform|availability|reputation[:C])",
+                      "full|uniform|availability|reputation|importance[:C])",
                       spec.c_str());
       std::exit(2);
     }

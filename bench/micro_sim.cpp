@@ -47,6 +47,14 @@
 // modes must produce bit-identical finals — profiling is time-only,
 // never part of the simulation state.
 //
+// Part 7 is the K = 100k streaming-federation demonstration: a fleet
+// built with ClientInitSchema::kFastInit (no per-client model-init
+// replay) running streaming sharded FedAvg rounds. The gate runs a
+// C = 128 round then a C = 2048 round in the same process and requires
+// the peak-RSS delta between them to stay flat — the server never
+// materializes the cohort, so 16x the cohort must not cost 16x the
+// update memory.
+//
 // Output is one JSON object per line, easy to diff/collect in CI, and
 // the headline numbers are also written to BENCH_sim.json so future
 // PRs can gate on perf regressions (the machine-readable trajectory).
@@ -299,17 +307,22 @@ struct ThousandRun {
   std::string error;
 };
 
-ThousandRun run_thousand(const ThousandOptions& t) {
-  // 9 shared synthetic datasets; client k trains on dataset k % 9 (the
-  // paper's data heterogeneity, scaled to a thousand participants).
-  static const std::vector<ClientDataset> shared_data = [] {
-    std::vector<ClientDataset> data;
-    for (int d = 0; d < 9; ++d) {
-      data.push_back(make_synthetic_client(
-          d + 1, 0.35f + 0.04f * static_cast<float>(d), 1000 + d));
+// 9 shared synthetic datasets; client k trains on dataset k % 9 (the
+// paper's data heterogeneity, scaled to thousands of participants).
+const std::vector<ClientDataset>& nine_shared_datasets() {
+  static const std::vector<ClientDataset> data = [] {
+    std::vector<ClientDataset> d;
+    for (int i = 0; i < 9; ++i) {
+      d.push_back(make_synthetic_client(
+          i + 1, 0.35f + 0.04f * static_cast<float>(i), 1000 + i));
     }
-    return data;
+    return d;
   }();
+  return data;
+}
+
+ThousandRun run_thousand(const ThousandOptions& t) {
+  const std::vector<ClientDataset>& shared_data = nine_shared_datasets();
 
   ModelFactory factory = make_model_factory(ModelKind::kFLNet, 2);
   // One shared scratch pool for all thousand clients: the run holds
@@ -425,6 +438,13 @@ struct SimBenchSummary {
   bool prof_fingerprints_match = false;
   bool prof_pass = false;
   int distinct_phases = 0;          // phases with count > 0 in the report
+  // Part 7: K = 100k streaming federation (flat-memory gate).
+  double hk_construct_s = 0.0;      // fast-init fleet construction
+  double hk_events_per_sec = 0.0;   // large-cohort round throughput
+  double hk_small_hwm_mb = -1.0;    // VmHWM after the C = 128 round
+  double hk_large_hwm_mb = -1.0;    // VmHWM after the C = 2048 round
+  double hk_delta_mb = 0.0;         // large - small (flat-RSS gate)
+  bool hk_pass = false;
 };
 
 int bench_thousand_clients(SimBenchSummary* summary) {
@@ -826,6 +846,107 @@ int bench_profiler_overhead(SimBenchSummary* summary) {
   return pass ? 0 : 1;
 }
 
+// --- part 7: K = 100k streaming federation ---------------------------
+
+// The million-client architecture, demonstrated at K = 100k on the
+// bench budget: fast-init client construction (ClientInitSchema::
+// kFastInit skips the per-client model-init replay, so building the
+// fleet is O(K) cheap struct work, not O(K) model constructions) and
+// the streaming sharded aggregation path (FLEDA_STREAMING's
+// programmatic form), which folds each decoded upload into per-lane
+// accumulators instead of materializing the cohort. The flat-memory
+// gate runs a C = 128 round first, then a 16x larger C = 2048 round in
+// the same process: VmHWM is monotone, so the second round's peak-RSS
+// delta is exactly what the bigger cohort cost the server — with
+// streaming it must stay within a fixed margin instead of growing with
+// C x model size.
+int bench_hundred_k(SimBenchSummary* summary) {
+  constexpr std::size_t kK = 100'000;
+  constexpr int kSmallCohort = 128;
+  constexpr int kLargeCohort = 2048;
+  constexpr double kFlatMarginMb = 32.0;
+
+  const std::vector<ClientDataset>& shared_data = nine_shared_datasets();
+  ModelFactory factory = make_model_factory(ModelKind::kFLNet, 2);
+  auto pool = std::make_shared<ModelPool>(factory);
+  Rng rng(4242);
+  Timer construct_timer;
+  std::vector<Client> clients;
+  clients.reserve(kK);
+  for (std::size_t k = 0; k < kK; ++k) {
+    clients.emplace_back(static_cast<int>(k) + 1, &shared_data[k % 9], pool,
+                         rng.fork(k), ClientInitSchema::kFastInit);
+  }
+  const double construct_s = construct_timer.seconds();
+
+  FLRunOptions opts;
+  opts.rounds = 1;
+  opts.client.steps = 1;
+  opts.client.batch_size = 2;
+  opts.client.learning_rate = 1e-3;
+  opts.client.mu = 0.0;
+  opts.seed = 99;
+  opts.participation.kind = ParticipationKind::kUniformSample;
+  opts.participation.seed = 31337;
+  opts.aggregation.streaming = true;
+  opts.sim = SimConfig::heterogeneous(kK, /*seed=*/5);
+
+  FedAvg algo;
+  bool failed = false;
+  std::string error;
+  SimReport report;
+  auto run_once = [&](int cohort) {
+    opts.participation.sample_size = cohort;
+    opts.sim_report = &report;
+    Timer timer;
+    try {
+      algo.run(clients, factory, opts);
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    }
+    return timer.seconds();
+  };
+  run_once(kSmallCohort);
+  const double hwm_small = peak_rss_mb();
+  const double large_host_s = run_once(kLargeCohort);
+  const double hwm_large = peak_rss_mb();
+
+  const double delta_mb =
+      (hwm_small >= 0.0 && hwm_large >= 0.0) ? hwm_large - hwm_small : 0.0;
+  // No /proc (hwm < 0): the memory gate is unobservable, don't fail it.
+  const bool flat_rss = hwm_small < 0.0 || delta_mb <= kFlatMarginMb;
+  const double events_per_sec =
+      large_host_s > 0.0
+          ? static_cast<double>(report.events_processed) / large_host_s
+          : 0.0;
+  const bool pass = !failed && flat_rss && events_per_sec > 0.0;
+
+  std::printf(
+      "{\"bench\":\"hundred_k\",\"clients\":%zu,\"small_cohort\":%d,"
+      "\"large_cohort\":%d,\"construct_s\":%.3f,\"events_per_sec\":%.0f,"
+      "\"small_peak_rss_mb\":%.1f,\"large_peak_rss_mb\":%.1f,"
+      "\"delta_mb\":%.1f,\"flat_margin_mb\":%.1f,\"flat_rss\":%s,"
+      "\"pass\":%s}\n",
+      kK, kSmallCohort, kLargeCohort, construct_s, events_per_sec, hwm_small,
+      hwm_large, delta_mb, kFlatMarginMb, flat_rss ? "true" : "false",
+      pass ? "true" : "false");
+  if (failed) {
+    std::printf("{\"bench\":\"hundred_k\",\"error\":\"%s\"}\n",
+                error.c_str());
+  }
+
+  if (summary != nullptr) {
+    summary->hk_construct_s = construct_s;
+    summary->hk_events_per_sec = events_per_sec;
+    summary->hk_small_hwm_mb = hwm_small;
+    summary->hk_large_hwm_mb = hwm_large;
+    summary->hk_delta_mb = delta_mb;
+    summary->hk_pass = pass;
+  }
+  return pass ? 0 : 1;
+}
+
 // The machine-readable perf trajectory: one JSON object per run, so a
 // future PR can diff events/sec, round time, and the memory budget
 // against this one's CI artifact.
@@ -858,6 +979,10 @@ void write_bench_json(const SimBenchSummary& summary,
       "\"profiler_overhead\":{\"disabled_events_per_sec\":%.0f,"
       "\"enabled_events_per_sec\":%.0f,\"overhead_pct\":%.2f,"
       "\"fingerprints_match\":%s,\"pass\":%s},"
+      "\"hundred_k\":{\"clients\":100000,\"small_cohort\":128,"
+      "\"large_cohort\":2048,\"construct_s\":%.3f,\"events_per_sec\":%.0f,"
+      "\"small_peak_rss_mb\":%.1f,\"large_peak_rss_mb\":%.1f,"
+      "\"delta_mb\":%.1f,\"pass\":%s},"
       "\"distinct_phases\":%d,\"profile\":%s,"
       "\"threads\":%zu,\"peak_rss_mb\":%.1f}\n",
       summary.events_per_sec, summary.events_per_sec_profiled,
@@ -884,6 +1009,9 @@ void write_bench_json(const SimBenchSummary& summary,
       summary.prof_overhead_pct,
       summary.prof_fingerprints_match ? "true" : "false",
       summary.prof_pass ? "true" : "false",
+      summary.hk_construct_s, summary.hk_events_per_sec,
+      summary.hk_small_hwm_mb, summary.hk_large_hwm_mb, summary.hk_delta_mb,
+      summary.hk_pass ? "true" : "false",
       summary.distinct_phases, profile.to_json().c_str(),
       ThreadPool::global().size(), summary.rss_mb);
   std::fclose(f);
@@ -912,6 +1040,14 @@ int main_impl() {
     const int arms_rc = bench_arms_race(&summary);
     return byz_rc != 0 ? byz_rc : arms_rc;
   }
+  // FLEDA_SIM_PART=hundred_k runs only the K = 100k streaming
+  // federation (fast-init fleet + flat peak-RSS gate) — the CI step
+  // that guards the million-client architecture.
+  if (part != nullptr && std::string(part) == "hundred_k") {
+    Profiler::set_enabled(true);
+    Profiler::reset();
+    return bench_hundred_k(&summary);
+  }
   // Raw loop both ways. The headline events_per_sec stays the
   // uninstrumented number (comparable with pre-profiler trajectory
   // artifacts); the profiled line shows the worst case (span around a
@@ -926,6 +1062,7 @@ int main_impl() {
   const int overhead_rc = bench_profiler_overhead(&summary);
   const int byzantine_rc = bench_byzantine(&summary);
   const int arms_race_rc = bench_arms_race(&summary);
+  const int hundred_k_rc = bench_hundred_k(&summary);
   summary.rss_mb = peak_rss_mb();
 
   // The merged per-phase profile of everything since the reset above.
@@ -946,6 +1083,7 @@ int main_impl() {
   if (overhead_rc != 0) return overhead_rc;
   if (byzantine_rc != 0) return byzantine_rc;
   if (arms_race_rc != 0) return arms_race_rc;
+  if (hundred_k_rc != 0) return hundred_k_rc;
   return profile_ok ? 0 : 1;
 }
 

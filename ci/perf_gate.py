@@ -8,6 +8,7 @@ Gated metrics (current vs previous):
   - BENCH_sim.json     thousand_clients.round_host_ms  must be <= 1.2x
   - BENCH_sim.json     arms_race.{detector_precision,detector_recall,
                        multi_krum_auc,reputation_auc}  must be >= 0.8x
+  - BENCH_sim.json     hundred_k.events_per_sec        must be >= 0.8x
   - BENCH_comm.json    codecs[*].encode_mb_per_s       must be >= 0.8x
   - BENCH_comm.json    codecs[*].decode_mb_per_s       must be >= 0.8x
   - BENCH_kernels.json shapes[*].auto_gflops           must be >= 0.8x
@@ -156,6 +157,12 @@ def main():
         errors.append(check(
             f"sim.arms_race.{metric}",
             ar_now.get(metric), ar_prev.get(metric)))
+    # K = 100k streaming-federation throughput (part 7); skips cleanly
+    # when the baseline artifact predates the hundred_k block.
+    errors.append(check(
+        "sim.hundred_k.events_per_sec",
+        sim_now.get("hundred_k", {}).get("events_per_sec"),
+        sim_prev.get("hundred_k", {}).get("events_per_sec")))
     now_rows, prev_rows = codec_rows(comm_now), codec_rows(comm_prev)
     for name in sorted(set(now_rows) & set(prev_rows)):
         for metric in ("encode_mb_per_s", "decode_mb_per_s"):

@@ -239,6 +239,95 @@ std::vector<ModelParameters> Channel::collect(
   return received;
 }
 
+std::vector<ModelParameters> Channel::collect(
+    std::vector<ModelParameters>&& updates,
+    const std::vector<const ModelParameters*>& references,
+    const std::vector<std::size_t>& senders) {
+  if (updates.size() != references.size() ||
+      updates.size() != senders.size()) {
+    throw std::invalid_argument(
+        "Channel::collect: " + std::to_string(updates.size()) +
+        " updates vs " + std::to_string(references.size()) +
+        " references vs " + std::to_string(senders.size()) + " senders");
+  }
+  const std::size_t n = updates.size();
+  std::size_t max_client = 0;
+  for (std::size_t k : senders) max_client = std::max(max_client, k + 1);
+  ensure_clients(max_client);
+  std::vector<ModelParameters> received(n);
+  std::vector<std::uint64_t> bytes(n, 0), raw(n, 0);
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // The raw update dies as soon as its wire copy exists: `u` takes
+      // the buffers out of the caller's vector and drops them at the
+      // end of the iteration, so peak memory is one cohort of decoded
+      // updates plus the in-flight few, not raw + decoded side by side.
+      const ModelParameters u = std::move(updates[i]);
+      received[i] =
+          uplink_roundtrip(senders[i], u, references[i], &bytes[i], &raw[i]);
+    }
+  });
+  updates.clear();
+  for (std::size_t i = 0; i < n; ++i) bill_uplink(senders[i], bytes[i], raw[i]);
+  return received;
+}
+
+void Channel::collect_streaming(
+    const std::vector<std::size_t>& senders,
+    const std::vector<const ModelParameters*>& references,
+    const std::vector<std::size_t>& lane_offsets,
+    const std::function<ModelParameters(std::size_t)>& produce,
+    const std::function<void(std::size_t, std::size_t, ModelParameters&&)>&
+        consume) {
+  const std::size_t n = senders.size();
+  if (references.size() != n) {
+    throw std::invalid_argument(
+        "Channel::collect_streaming: " + std::to_string(n) + " senders vs " +
+        std::to_string(references.size()) + " references");
+  }
+  if (lane_offsets.size() < 2 || lane_offsets.front() != 0 ||
+      lane_offsets.back() != n) {
+    throw std::invalid_argument(
+        "Channel::collect_streaming: lane_offsets must cover [0, " +
+        std::to_string(n) + ") (use fold_lane_offsets)");
+  }
+  for (std::size_t l = 1; l < lane_offsets.size(); ++l) {
+    if (lane_offsets[l] < lane_offsets[l - 1]) {
+      throw std::invalid_argument(
+          "Channel::collect_streaming: lane_offsets must be non-decreasing");
+    }
+  }
+  std::size_t max_client = 0;
+  for (std::size_t k : senders) max_client = std::max(max_client, k + 1);
+  ensure_clients(max_client);
+  const std::size_t lanes = lane_offsets.size() - 1;
+  std::vector<std::uint64_t> bytes(n, 0), raw(n, 0);
+  // Pool tasks must not throw; produce/consume legitimately can (fold
+  // validation rejecting a poisoned update). Each lane captures its
+  // first error and the earliest lane's is rethrown below — a stable
+  // choice regardless of which lane faulted first in wall time.
+  std::vector<std::exception_ptr> lane_error(lanes);
+  parallel_for(lanes, [&](std::size_t lane_begin, std::size_t lane_end) {
+    for (std::size_t l = lane_begin; l < lane_end; ++l) {
+      try {
+        for (std::size_t i = lane_offsets[l]; i < lane_offsets[l + 1]; ++i) {
+          ModelParameters update = produce(i);
+          ModelParameters decoded = uplink_roundtrip(
+              senders[i], update, references[i], &bytes[i], &raw[i]);
+          update = ModelParameters{};  // wire copy exists; free the raw one
+          consume(l, i, std::move(decoded));
+        }
+      } catch (...) {
+        lane_error[l] = std::current_exception();
+      }
+    }
+  });
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (lane_error[l]) std::rethrow_exception(lane_error[l]);
+  }
+  for (std::size_t i = 0; i < n; ++i) bill_uplink(senders[i], bytes[i], raw[i]);
+}
+
 std::shared_ptr<const ModelParameters> Channel::send_down(
     std::size_t client, const ModelParameters& snapshot,
     std::uint64_t* bytes_out) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -140,6 +141,42 @@ class Channel {
       const std::vector<ModelParameters>& updates,
       const std::vector<const ModelParameters*>& references,
       const std::vector<std::size_t>& senders);
+
+  // Move-consuming form: identical math and billing, but each client's
+  // raw update is released right after its roundtrip instead of living
+  // until the whole cohort returns — the caller hands the vector over
+  // and the round peaks at one cohort of decoded updates, not two
+  // (raw + decoded).
+  std::vector<ModelParameters> collect(
+      std::vector<ModelParameters>&& updates,
+      const std::vector<const ModelParameters*>& references,
+      const std::vector<std::size_t>& senders);
+
+  // Streaming collect: the fully O(1)-per-client form. Produces, wires,
+  // and consumes one update at a time — the cohort is never
+  // materialized on either side.
+  //
+  // `lane_offsets` (fold_lane_offsets(n, lanes)) partitions cohort
+  // positions [0, n) into contiguous lanes; lanes run in parallel on
+  // the pool, each lane walks its block serially in cohort order. For
+  // each position i: produce(i) yields client senders[i]'s update
+  // (callers typically train the client inside produce, so lanes are
+  // also the round's training parallelism), the update goes through the
+  // uplink codec roundtrip, consume(lane, i, decoded) folds the
+  // server-side view in, and both copies are freed before i + 1 starts.
+  //
+  // produce/consume run on lane threads for distinct positions
+  // concurrently; billing is reduced serially afterwards, in cohort
+  // order, exactly like collect(). A throw from produce/consume/codec
+  // stops that lane; the earliest-lane error is rethrown on the caller
+  // thread after all lanes settle.
+  void collect_streaming(
+      const std::vector<std::size_t>& senders,
+      const std::vector<const ModelParameters*>& references,
+      const std::vector<std::size_t>& lane_offsets,
+      const std::function<ModelParameters(std::size_t)>& produce,
+      const std::function<void(std::size_t, std::size_t, ModelParameters&&)>&
+          consume);
 
   // Per-message primitives for event-driven schedules (AsyncFedAvg):
   // one deployment to / one update from a single client, billed to

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fleda {
 namespace {
@@ -96,6 +98,20 @@ ModelParameters WeightedAverage::aggregate(
   return result;
 }
 
+CoordinateMedian::CoordinateMedian(int sketch_bins, double sketch_span)
+    : sketch_bins_(sketch_bins), sketch_span_(sketch_span) {
+  if (sketch_bins < 2) {
+    throw std::invalid_argument("CoordinateMedian: sketch_bins " +
+                                std::to_string(sketch_bins) +
+                                " must be >= 2");
+  }
+  if (!std::isfinite(sketch_span) || sketch_span <= 0.0) {
+    throw std::invalid_argument("CoordinateMedian: sketch_span " +
+                                std::to_string(sketch_span) +
+                                " must be finite and > 0");
+  }
+}
+
 ModelParameters CoordinateMedian::aggregate(
     const ModelParameters& /*current*/,
     const std::vector<AggregationInput>& cohort) const {
@@ -136,13 +152,26 @@ ModelParameters CoordinateMedian::aggregate(
   return result;
 }
 
-TrimmedMean::TrimmedMean(double trim_fraction)
-    : trim_fraction_(trim_fraction) {
+TrimmedMean::TrimmedMean(double trim_fraction, int sketch_bins,
+                         double sketch_span)
+    : trim_fraction_(trim_fraction),
+      sketch_bins_(sketch_bins),
+      sketch_span_(sketch_span) {
   if (!(trim_fraction >= 0.0) || trim_fraction >= 0.5) {
     throw std::invalid_argument(
         "TrimmedMean: trim_fraction " + std::to_string(trim_fraction) +
         " outside [0, 0.5) — trimming half or more from each end leaves "
         "nothing to average");
+  }
+  if (sketch_bins < 2) {
+    throw std::invalid_argument("TrimmedMean: sketch_bins " +
+                                std::to_string(sketch_bins) +
+                                " must be >= 2");
+  }
+  if (!std::isfinite(sketch_span) || sketch_span <= 0.0) {
+    throw std::invalid_argument("TrimmedMean: sketch_span " +
+                                std::to_string(sketch_span) +
+                                " must be finite and > 0");
   }
 }
 
@@ -359,17 +388,587 @@ ModelParameters StalenessDiscountedMix::aggregate(
   return next;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming accumulators
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> fold_lane_offsets(std::size_t n, std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  std::vector<std::size_t> offsets(lanes + 1);
+  for (std::size_t l = 0; l <= lanes; ++l) offsets[l] = n * l / lanes;
+  return offsets;
+}
+
+std::unique_ptr<StreamingAccumulator> AggregationRule::accumulator(
+    const ModelParameters& /*current*/, const ShardLayout& /*layout*/) const {
+  throw std::logic_error(
+      name() +
+      ": no streaming accumulator — this rule scores the cohort as a whole "
+      "(requires_dense() == true); callers must keep the batch path");
+}
+
+namespace {
+
+// Per-fold mirror of checked_total_weight's guards: same failure
+// families, same counter, caught before the value ever touches a
+// partial sum.
+void check_fold(const char* rule, const ModelParameters& update, double weight,
+                int client) {
+  const std::string sender = client >= 0
+                                 ? "client " + std::to_string(client)
+                                 : std::string("a cohort update");
+  if (update.empty()) {
+    throw std::invalid_argument(std::string(rule) + ": empty update from " +
+                                sender);
+  }
+  if (!(weight >= 0.0)) {  // negatives and NaNs both fail this
+    throw std::invalid_argument(
+        std::string(rule) + ": weight " + std::to_string(weight) + " from " +
+        sender + " is negative or non-finite");
+  }
+  if (!std::isfinite(update.squared_l2_norm())) {
+    static Counter& trips = MetricsRegistry::global().counter(
+        "fleda.agg.nonfinite_guard_trips");
+    trips.add(1);
+    throw std::invalid_argument(
+        std::string(rule) + ": " + sender +
+        " sent a non-finite update (NaN/Inf parameter values) — "
+        "refusing to fold it into the global model");
+  }
+}
+
+void check_fold_structure(const char* rule, const ModelParameters& reference,
+                          const ModelParameters& update, int client) {
+  if (!reference.structurally_equal(update)) {
+    const std::string sender = client >= 0
+                                   ? "client " + std::to_string(client)
+                                   : std::string("a cohort update");
+    throw std::invalid_argument(std::string(rule) +
+                                ": structure mismatch at " + sender);
+  }
+}
+
+void check_finish_total(const char* rule, std::size_t folds, double total) {
+  if (folds == 0) {
+    throw std::invalid_argument(
+        std::string(rule) +
+        ": empty cohort — no client contributed this round (did the "
+        "participation policy sample only offline clients?)");
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    throw std::invalid_argument(
+        std::string(rule) + ": total weight " + std::to_string(total) +
+        " over " + std::to_string(folds) +
+        " clients — refusing to divide (would emit NaN parameters)");
+  }
+}
+
+// Runs fn(begin, end) over `shards` contiguous slices of [0, total).
+// Slices are a pure function of (total, shards) and every write inside
+// fn targets its own slice, so the split parallelizes element-wise
+// merge/finish work without affecting results. shards == 0 picks the
+// pool size; nested use (inside an outer parallel_for) degrades to the
+// serial path via the pool's non-reentrancy.
+void for_each_shard(std::size_t total, std::size_t shards,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (shards == 0) shards = ThreadPool::global().size();
+  if (shards <= 1 || total < 4096) {
+    fn(0, total);
+    return;
+  }
+  parallel_for(shards, [&](std::size_t s_begin, std::size_t s_end) {
+    for (std::size_t s = s_begin; s < s_end; ++s) {
+      fn(total * s / shards, total * (s + 1) / shards);
+    }
+  });
+}
+
+// Per-entry double accumulation buffers shaped like a reference model.
+// Folding in float updates at double precision keeps the running sum's
+// error independent of the fold order's reassociation — the reason the
+// streaming mean family matches the dense rules to float rounding.
+struct DoubleSums {
+  std::vector<std::vector<double>> acc;
+
+  bool empty() const { return acc.empty(); }
+
+  void init(const ModelParameters& shape) {
+    acc.assign(shape.entries().size(), {});
+    for (std::size_t e = 0; e < acc.size(); ++e) {
+      acc[e].assign(
+          static_cast<std::size_t>(shape.entries()[e].value.numel()), 0.0);
+    }
+  }
+
+  // acc += scale * p
+  void add_params(const ModelParameters& p, double scale) {
+    for (std::size_t e = 0; e < acc.size(); ++e) {
+      const float* src = p.entries()[e].value.data();
+      double* dst = acc[e].data();
+      const std::size_t n = acc[e].size();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] += scale * static_cast<double>(src[i]);
+      }
+    }
+  }
+
+  // acc += scale * (p - reference)
+  void add_delta(const ModelParameters& p, const ModelParameters& reference,
+                 double scale) {
+    for (std::size_t e = 0; e < acc.size(); ++e) {
+      const float* src = p.entries()[e].value.data();
+      const float* ref = reference.entries()[e].value.data();
+      double* dst = acc[e].data();
+      const std::size_t n = acc[e].size();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] += scale * (static_cast<double>(src[i]) -
+                           static_cast<double>(ref[i]));
+      }
+    }
+  }
+
+  // acc += other.acc, element-wise across shards.
+  void add_sums(const DoubleSums& other, std::size_t shards) {
+    for (std::size_t e = 0; e < acc.size(); ++e) {
+      double* dst = acc[e].data();
+      const double* src = other.acc[e].data();
+      for_each_shard(acc[e].size(), shards,
+                     [dst, src](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         dst[i] += src[i];
+                       }
+                     });
+    }
+  }
+
+  // result[e][i] = base (or base[e][i]) + acc[e][i] * scale, written
+  // into a copy of `shape`.
+  ModelParameters render(const ModelParameters& shape, double scale,
+                         bool add_to_shape, std::size_t shards) const {
+    ModelParameters result = shape;
+    for (std::size_t e = 0; e < acc.size(); ++e) {
+      float* out = result.mutable_entries()[e].value.data();
+      const double* sums = acc[e].data();
+      for_each_shard(
+          acc[e].size(), shards,
+          [out, sums, scale, add_to_shape](std::size_t begin,
+                                           std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const double folded = sums[i] * scale;
+              out[i] = static_cast<float>(
+                  add_to_shape ? static_cast<double>(out[i]) + folded
+                               : folded);
+            }
+          });
+    }
+    return result;
+  }
+};
+
+// weighted_average: acc = sum w_k p_k, finish = acc / total.
+class MeanStreamAccumulator final : public StreamingAccumulator {
+ public:
+  explicit MeanStreamAccumulator(std::size_t shards) : shards_(shards) {}
+
+  void fold(const ModelParameters& update, double weight, int /*staleness*/,
+            int client) override {
+    ProfileScope prof(phase::kAggregate);
+    check_fold("WeightedAverage", update, weight, client);
+    if (folds_ == 0) {
+      shape_ = update;
+      sums_.init(shape_);
+    } else {
+      check_fold_structure("WeightedAverage", shape_, update, client);
+    }
+    sums_.add_params(update, weight);
+    total_ += weight;
+    ++folds_;
+  }
+
+  void merge(StreamingAccumulator& other) override {
+    ProfileScope prof(phase::kAggregate);
+    auto* peer = dynamic_cast<MeanStreamAccumulator*>(&other);
+    if (peer == nullptr) {
+      throw std::invalid_argument(
+          "WeightedAverage: merge with a different rule's accumulator");
+    }
+    if (peer->folds_ == 0) return;
+    if (folds_ == 0) {
+      shape_ = std::move(peer->shape_);
+      sums_ = std::move(peer->sums_);
+      total_ = peer->total_;
+      folds_ = peer->folds_;
+    } else {
+      check_fold_structure("WeightedAverage", shape_, peer->shape_, -1);
+      sums_.add_sums(peer->sums_, shards_);
+      total_ += peer->total_;
+      folds_ += peer->folds_;
+    }
+    *peer = MeanStreamAccumulator(shards_);
+  }
+
+  std::size_t folds() const override { return folds_; }
+
+  ModelParameters finish() override {
+    ProfileScope prof(phase::kAggregate);
+    check_finish_total("WeightedAverage", folds_, total_);
+    return sums_.render(shape_, 1.0 / total_, /*add_to_shape=*/false, shards_);
+  }
+
+ private:
+  std::size_t shards_;
+  ModelParameters shape_;
+  DoubleSums sums_;
+  double total_ = 0.0;
+  std::size_t folds_ = 0;
+};
+
+// norm_clipped_mean: acc = sum w_k clip_k (p_k - current),
+// finish = current + acc / total. Holds `current` by reference.
+class ClippedStreamAccumulator final : public StreamingAccumulator {
+ public:
+  ClippedStreamAccumulator(const ModelParameters& current, double clip_norm,
+                           std::size_t shards)
+      : current_(&current), clip_norm_(clip_norm), shards_(shards) {
+    sums_.init(current);
+  }
+
+  void fold(const ModelParameters& update, double weight, int /*staleness*/,
+            int client) override {
+    ProfileScope prof(phase::kAggregate);
+    check_fold("NormClippedMean", update, weight, client);
+    check_fold_structure("NormClippedMean", *current_, update, client);
+    // Pass 1: the delta's norm (needs only this one update — the reason
+    // clipping streams while Krum's pairwise scoring cannot).
+    double norm2 = 0.0;
+    for (std::size_t e = 0; e < update.entries().size(); ++e) {
+      const float* u = update.entries()[e].value.data();
+      const float* c = current_->entries()[e].value.data();
+      const std::size_t n =
+          static_cast<std::size_t>(update.entries()[e].value.numel());
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d =
+            static_cast<double>(u[i]) - static_cast<double>(c[i]);
+        norm2 += d * d;
+      }
+    }
+    const double norm = std::sqrt(norm2);
+    const double clip = norm > clip_norm_ ? clip_norm_ / norm : 1.0;
+    sums_.add_delta(update, *current_, clip * weight);
+    total_ += weight;
+    ++folds_;
+  }
+
+  void merge(StreamingAccumulator& other) override {
+    ProfileScope prof(phase::kAggregate);
+    auto* peer = dynamic_cast<ClippedStreamAccumulator*>(&other);
+    if (peer == nullptr) {
+      throw std::invalid_argument(
+          "NormClippedMean: merge with a different rule's accumulator");
+    }
+    if (peer->folds_ == 0) return;
+    sums_.add_sums(peer->sums_, shards_);
+    total_ += peer->total_;
+    folds_ += peer->folds_;
+    *peer = ClippedStreamAccumulator(*peer->current_, clip_norm_, shards_);
+  }
+
+  std::size_t folds() const override { return folds_; }
+
+  ModelParameters finish() override {
+    ProfileScope prof(phase::kAggregate);
+    check_finish_total("NormClippedMean", folds_, total_);
+    return sums_.render(*current_, 1.0 / total_, /*add_to_shape=*/true,
+                        shards_);
+  }
+
+ private:
+  const ModelParameters* current_;
+  double clip_norm_;
+  std::size_t shards_;
+  DoubleSums sums_;
+  double total_ = 0.0;
+  std::size_t folds_ = 0;
+};
+
+// staleness_mix: folds are DELTAS; acc = sum u_i d_i with
+// u_i = w_i s(tau_i), finish = current + server_mix * acc / total.
+class MixStreamAccumulator final : public StreamingAccumulator {
+ public:
+  MixStreamAccumulator(const ModelParameters& current,
+                       const StalenessPolicy& staleness, double server_mix,
+                       std::size_t shards)
+      : current_(&current),
+        staleness_(staleness),
+        server_mix_(server_mix),
+        shards_(shards) {
+    sums_.init(current);
+  }
+
+  void fold(const ModelParameters& update, double weight, int staleness,
+            int client) override {
+    ProfileScope prof(phase::kAggregate);
+    check_fold("StalenessDiscountedMix", update, weight, client);
+    check_fold_structure("StalenessDiscountedMix", *current_, update, client);
+    const double u = weight * staleness_.weight(staleness);
+    sums_.add_params(update, u);
+    total_ += u;
+    ++folds_;
+  }
+
+  void merge(StreamingAccumulator& other) override {
+    ProfileScope prof(phase::kAggregate);
+    auto* peer = dynamic_cast<MixStreamAccumulator*>(&other);
+    if (peer == nullptr) {
+      throw std::invalid_argument(
+          "StalenessDiscountedMix: merge with a different rule's accumulator");
+    }
+    if (peer->folds_ == 0) return;
+    sums_.add_sums(peer->sums_, shards_);
+    total_ += peer->total_;
+    folds_ += peer->folds_;
+    *peer = MixStreamAccumulator(*peer->current_, staleness_, server_mix_,
+                                 shards_);
+  }
+
+  std::size_t folds() const override { return folds_; }
+
+  ModelParameters finish() override {
+    ProfileScope prof(phase::kAggregate);
+    check_finish_total("StalenessDiscountedMix", folds_, total_);
+    return sums_.render(*current_, server_mix_ / total_, /*add_to_shape=*/true,
+                        shards_);
+  }
+
+ private:
+  const ModelParameters* current_;
+  StalenessPolicy staleness_;
+  double server_mix_;
+  std::size_t shards_;
+  DoubleSums sums_;
+  double total_ = 0.0;
+  std::size_t folds_ = 0;
+};
+
+// Streaming quantile sketch for the rank-based rules: a fixed-bin
+// histogram per coordinate over [current[c] - span, current[c] + span]
+// (outliers clamp to the edge bins). Integer bin counts make merges
+// exact and order-independent, so the sketch — unlike the double sums
+// — is bit-identical across every lane/shard layout by construction.
+// finish() walks each coordinate's bin ranks: the median reads the
+// middle rank(s), the trimmed mean averages the mass of ranks
+// [g, n - g), both answering with bucket midpoints (in-span error at
+// most one bin width = 2 * span / bins).
+class SketchStreamAccumulator final : public StreamingAccumulator {
+ public:
+  SketchStreamAccumulator(const char* rule, const ModelParameters& current,
+                          int bins, double span, double trim_fraction,
+                          std::size_t shards)
+      : rule_(rule),
+        current_(&current),
+        bins_(static_cast<std::size_t>(bins)),
+        span_(span),
+        trim_fraction_(trim_fraction),
+        shards_(shards) {
+    counts_.assign(current.entries().size(), {});
+    for (std::size_t e = 0; e < counts_.size(); ++e) {
+      counts_[e].assign(
+          static_cast<std::size_t>(current.entries()[e].value.numel()) * bins_,
+          0);
+    }
+  }
+
+  void fold(const ModelParameters& update, double weight, int /*staleness*/,
+            int client) override {
+    ProfileScope prof(phase::kAggregate);
+    check_fold(rule_, update, weight, client);
+    check_fold_structure(rule_, *current_, update, client);
+    const double inv_width =
+        static_cast<double>(bins_) / (2.0 * span_);
+    for (std::size_t e = 0; e < counts_.size(); ++e) {
+      const float* u = update.entries()[e].value.data();
+      const float* c = current_->entries()[e].value.data();
+      std::uint32_t* bins = counts_[e].data();
+      const std::size_t n = counts_[e].size() / bins_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double rel =
+            (static_cast<double>(u[i]) - static_cast<double>(c[i]) + span_) *
+            inv_width;
+        std::size_t b = rel <= 0.0 ? 0 : static_cast<std::size_t>(rel);
+        if (b >= bins_) b = bins_ - 1;
+        ++bins[i * bins_ + b];
+      }
+    }
+    total_ += weight;
+    ++folds_;
+  }
+
+  void merge(StreamingAccumulator& other) override {
+    ProfileScope prof(phase::kAggregate);
+    auto* peer = dynamic_cast<SketchStreamAccumulator*>(&other);
+    if (peer == nullptr || peer->bins_ != bins_ || peer->span_ != span_) {
+      throw std::invalid_argument(
+          std::string(rule_) +
+          ": merge with an incompatible sketch accumulator");
+    }
+    if (peer->folds_ == 0) return;
+    for (std::size_t e = 0; e < counts_.size(); ++e) {
+      std::uint32_t* dst = counts_[e].data();
+      const std::uint32_t* src = peer->counts_[e].data();
+      for_each_shard(counts_[e].size(), shards_,
+                     [dst, src](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         dst[i] += src[i];
+                       }
+                     });
+    }
+    total_ += peer->total_;
+    folds_ += peer->folds_;
+    *peer = SketchStreamAccumulator(rule_, *peer->current_,
+                                    static_cast<int>(bins_), span_,
+                                    trim_fraction_, shards_);
+  }
+
+  std::size_t folds() const override { return folds_; }
+
+  ModelParameters finish() override {
+    ProfileScope prof(phase::kAggregate);
+    check_finish_total(rule_, folds_, total_);
+    const std::size_t n = folds_;
+    const std::size_t g = static_cast<std::size_t>(
+        trim_fraction_ * static_cast<double>(n));
+    const double width = 2.0 * span_ / static_cast<double>(bins_);
+    const bool median = trim_fraction_ < 0.0;
+    ModelParameters result = *current_;
+    for (std::size_t e = 0; e < counts_.size(); ++e) {
+      float* out = result.mutable_entries()[e].value.data();
+      const std::uint32_t* bins = counts_[e].data();
+      const std::size_t numel = counts_[e].size() / bins_;
+      const std::size_t nbins = bins_;
+      const double span = span_;
+      for_each_shard(
+          numel, shards_,
+          [out, bins, numel, nbins, span, width, n, g,
+           median](std::size_t begin, std::size_t end) {
+            (void)numel;
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::uint32_t* row = bins + i * nbins;
+              const double base = static_cast<double>(out[i]) - span;
+              if (median) {
+                // Value(s) at the middle rank(s), bucket midpoints.
+                const std::size_t hi_rank = n / 2;
+                const std::size_t lo_rank = n % 2 == 1 ? hi_rank : hi_rank - 1;
+                double lo = 0.0, hi = 0.0;
+                std::size_t cum = 0;
+                for (std::size_t b = 0; b < nbins; ++b) {
+                  const std::size_t next = cum + row[b];
+                  const double mid =
+                      base + (static_cast<double>(b) + 0.5) * width;
+                  if (cum <= lo_rank && lo_rank < next) lo = mid;
+                  if (cum <= hi_rank && hi_rank < next) {
+                    hi = mid;
+                    break;
+                  }
+                  cum = next;
+                }
+                out[i] = static_cast<float>((lo + hi) / 2.0);
+              } else {
+                // Mass of ranks [g, n - g): each bin contributes the
+                // overlap of its cumulative rank range, valued at its
+                // midpoint.
+                double acc = 0.0;
+                std::size_t cum = 0;
+                for (std::size_t b = 0; b < nbins && cum < n - g; ++b) {
+                  const std::size_t next = cum + row[b];
+                  const std::size_t lo = cum > g ? cum : g;
+                  const std::size_t hi = next < n - g ? next : n - g;
+                  if (hi > lo) {
+                    acc += static_cast<double>(hi - lo) *
+                           (base + (static_cast<double>(b) + 0.5) * width);
+                  }
+                  cum = next;
+                }
+                out[i] = static_cast<float>(
+                    acc / static_cast<double>(n - 2 * g));
+              }
+            }
+          });
+    }
+    return result;
+  }
+
+ private:
+  const char* rule_;
+  const ModelParameters* current_;
+  std::size_t bins_;
+  double span_;
+  double trim_fraction_;  // < 0 = median mode
+  std::size_t shards_;
+  std::vector<std::vector<std::uint32_t>> counts_;
+  double total_ = 0.0;
+  std::size_t folds_ = 0;
+};
+
+void require_streaming_current(const char* rule,
+                               const ModelParameters& current) {
+  if (current.empty()) {
+    throw std::invalid_argument(
+        std::string(rule) +
+        ": empty `current` — the streaming accumulator anchors on the "
+        "server's model (delta reference / sketch center), so the caller "
+        "must pass it");
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<StreamingAccumulator> WeightedAverage::accumulator(
+    const ModelParameters& /*current*/, const ShardLayout& layout) const {
+  return std::make_unique<MeanStreamAccumulator>(layout.shards);
+}
+
+std::unique_ptr<StreamingAccumulator> NormClippedMean::accumulator(
+    const ModelParameters& current, const ShardLayout& layout) const {
+  require_streaming_current("NormClippedMean", current);
+  return std::make_unique<ClippedStreamAccumulator>(current, clip_norm_,
+                                                    layout.shards);
+}
+
+std::unique_ptr<StreamingAccumulator> StalenessDiscountedMix::accumulator(
+    const ModelParameters& current, const ShardLayout& layout) const {
+  require_streaming_current("StalenessDiscountedMix", current);
+  return std::make_unique<MixStreamAccumulator>(current, staleness_,
+                                                server_mix_, layout.shards);
+}
+
+std::unique_ptr<StreamingAccumulator> CoordinateMedian::accumulator(
+    const ModelParameters& current, const ShardLayout& layout) const {
+  require_streaming_current("CoordinateMedian", current);
+  return std::make_unique<SketchStreamAccumulator>(
+      "CoordinateMedian", current, sketch_bins_, sketch_span_,
+      /*trim_fraction=*/-1.0, layout.shards);
+}
+
+std::unique_ptr<StreamingAccumulator> TrimmedMean::accumulator(
+    const ModelParameters& current, const ShardLayout& layout) const {
+  require_streaming_current("TrimmedMean", current);
+  return std::make_unique<SketchStreamAccumulator>(
+      "TrimmedMean", current, sketch_bins_, sketch_span_, trim_fraction_,
+      layout.shards);
+}
+
 namespace {
 
 void register_builtin_rules(AggregationRegistry& registry) {
   registry.add("weighted_average", [](const AggregationConfig&) {
     return std::make_unique<WeightedAverage>();
   });
-  registry.add("coordinate_median", [](const AggregationConfig&) {
-    return std::make_unique<CoordinateMedian>();
+  registry.add("coordinate_median", [](const AggregationConfig& c) {
+    return std::make_unique<CoordinateMedian>(c.sketch_bins, c.sketch_span);
   });
   registry.add("trimmed_mean", [](const AggregationConfig& c) {
-    return std::make_unique<TrimmedMean>(c.trim_fraction);
+    return std::make_unique<TrimmedMean>(c.trim_fraction, c.sketch_bins,
+                                         c.sketch_span);
   });
   registry.add("norm_clipped_mean", [](const AggregationConfig& c) {
     return std::make_unique<NormClippedMean>(c.clip_norm);

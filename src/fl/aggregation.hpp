@@ -65,6 +65,68 @@ struct AggregationInput {
   int client = -1;
 };
 
+// Fixed fold-lane count of the streaming aggregation path. Lanes — not
+// thread-pool chunks — are the unit of parallel folding: the cohort is
+// partitioned into kFoldLanes contiguous blocks, each lane folds its
+// block serially in cohort order into its own accumulator, and the
+// coordinator merges the lanes in lane order. Because the partition and
+// both fold/merge orders are pure functions of the cohort (never of
+// thread scheduling), streaming results are bit-identical across
+// thread-pool sizes.
+inline constexpr std::size_t kFoldLanes = 8;
+
+// How a streaming aggregation is laid out: how many folds to expect,
+// how many parallel fold lanes feed partial accumulators, and how many
+// parameter shards the (element-wise) merge/finish passes may split
+// the model into. Shards only parallelize element-wise work, so the
+// result is shard-count invariant by construction — FLEDA_AGG_SHARDS
+// is a parallelism knob, not a semantics knob.
+struct ShardLayout {
+  std::size_t cohort_size = 0;    // expected folds; 0 = unknown
+  std::size_t lanes = kFoldLanes; // partial accumulators folded in parallel
+  std::size_t shards = 0;         // merge/finish parallelism; 0 = auto
+};
+
+// Half-open lane boundaries over [0, n): lanes + 1 offsets with lane l
+// covering [offsets[l], offsets[l + 1]). Pure function of (n, lanes) —
+// the streaming path's determinism rests on these bounds never
+// depending on the thread pool.
+std::vector<std::size_t> fold_lane_offsets(std::size_t n, std::size_t lanes);
+
+// One partial accumulator of a streaming aggregation: updates are
+// folded in one at a time (and can be freed by the caller immediately
+// after), sibling lanes are merged in lane order, and finish() emits
+// the aggregated model. Obtained from AggregationRule::accumulator();
+// not thread-safe — each lane owns one, and merge()/finish() run on
+// the coordinator after all folds complete. Server memory for a round
+// becomes O(lanes x model) (plus O(shards x threads) transient scratch
+// in finish), independent of cohort size.
+class StreamingAccumulator {
+ public:
+  virtual ~StreamingAccumulator() = default;
+
+  // Folds one client's contribution. Mirrors the dense rules' guards:
+  // throws std::invalid_argument on a null-structure/NaN/Inf update, a
+  // negative or non-finite weight, or a structure mismatch, naming
+  // `client` (negative = unknown). `staleness` feeds mixing rules'
+  // discount; synchronous callers pass 0.
+  virtual void fold(const ModelParameters& update, double weight,
+                    int staleness, int client) = 0;
+
+  // Absorbs a sibling lane's partials (same rule, same layout). The
+  // caller merges lanes in ascending lane order; `other` is left empty.
+  virtual void merge(StreamingAccumulator& other) = 0;
+
+  // Folds absorbed so far (own + merged) — lets callers skip finish()
+  // for an empty group (e.g. a dead IFCA cluster) instead of tripping
+  // the empty-cohort error.
+  virtual std::size_t folds() const = 0;
+
+  // The aggregated model. Throws like the dense rules on zero folds or
+  // a zero/non-finite total weight. Call once, after all merges.
+  virtual ModelParameters finish() = 0;
+};
+
 class AggregationRule {
  public:
   virtual ~AggregationRule() = default;
@@ -76,6 +138,22 @@ class AggregationRule {
   // (averaging rules). Event-driven servers use this to decide how to
   // apply a rule to their buffered deltas.
   virtual bool folds_into_current() const { return false; }
+
+  // Whether the rule needs the whole cohort materialized at once.
+  // Krum-family rules score pairwise distances and keep the batch
+  // path; rules with a streaming form (weighted_average,
+  // norm_clipped_mean, staleness_mix natively; coordinate_median /
+  // trimmed_mean via a histogram sketch) return false and implement
+  // accumulator().
+  virtual bool requires_dense() const { return true; }
+
+  // A fresh partial accumulator for one fold lane. `current` is the
+  // model being replaced (the delta/clipping reference; it must
+  // outlive the accumulator — round loops keep the global model alive
+  // across the round). Default: throws std::logic_error — callers must
+  // check requires_dense() first.
+  virtual std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const;
 
   // Combines the cohort into the next model. `current` is the model
   // being replaced; plain averaging rules ignore it, clipping rules use
@@ -91,6 +169,14 @@ class AggregationRule {
 class WeightedAverage : public AggregationRule {
  public:
   std::string name() const override { return "weighted_average"; }
+  bool requires_dense() const override { return false; }
+  // Streaming form: per-coordinate double running sums of w_k * w^k
+  // plus a scalar total weight; finish() scales by 1 / total. Exact up
+  // to summation order (doubles absorb the reassociation), so it
+  // matches the dense rule to float rounding, not bit-for-bit — which
+  // is why streaming is opt-in.
+  std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const override;
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
@@ -102,10 +188,28 @@ class WeightedAverage : public AggregationRule {
 // clients unable to move any coordinate outside the honest range.
 class CoordinateMedian : public AggregationRule {
  public:
+  // sketch_bins / sketch_span parameterize ONLY the streaming sketch
+  // (see accumulator()); the dense aggregate() stays exact.
+  explicit CoordinateMedian(int sketch_bins = 32, double sketch_span = 0.25);
+
   std::string name() const override { return "coordinate_median"; }
+  bool requires_dense() const override { return false; }
+  // Streaming form: a per-coordinate fixed-bin histogram sketch over
+  // [current[c] - span, current[c] + span] (values outside clamp to the
+  // edge bins); finish() reads the median off the bin ranks, answering
+  // with the bucket midpoint. Bounded error: within the span the
+  // median is off by at most one bin width (2 * span / bins); integer
+  // bin counts merge exactly, so the sketch stays deterministic across
+  // lane/shard layouts.
+  std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const override;
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
+
+ private:
+  int sketch_bins_;
+  double sketch_span_;
 };
 
 // Entrywise trimmed mean: per coordinate, the g = floor(trim_fraction
@@ -116,16 +220,26 @@ class CoordinateMedian : public AggregationRule {
 class TrimmedMean : public AggregationRule {
  public:
   // trim_fraction in [0, 0.5); 0 recovers the unweighted mean.
-  explicit TrimmedMean(double trim_fraction);
+  // sketch_bins / sketch_span parameterize only the streaming sketch.
+  explicit TrimmedMean(double trim_fraction, int sketch_bins = 32,
+                       double sketch_span = 0.25);
 
   std::string name() const override { return "trimmed_mean"; }
   double trim_fraction() const { return trim_fraction_; }
+  bool requires_dense() const override { return false; }
+  // Streaming form: the same histogram sketch as CoordinateMedian;
+  // finish() averages the mass of ranks [g, n - g) per coordinate by
+  // walking the bins' cumulative counts (bucket midpoints as values).
+  std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const override;
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
 
  private:
   double trim_fraction_;
+  int sketch_bins_;
+  double sketch_span_;
 };
 
 // Weighted average of delta-clipped updates: each cohort member's
@@ -140,6 +254,13 @@ class NormClippedMean : public AggregationRule {
 
   std::string name() const override { return "norm_clipped_mean"; }
   double clip_norm() const { return clip_norm_; }
+  bool requires_dense() const override { return false; }
+  // Streaming form: fold computes the clipped delta against `current`
+  // immediately (clip factor needs only the one update) and running-sums
+  // w_k * clip_k * delta_k in doubles; finish() adds the scaled sum back
+  // onto `current`. `current` must outlive the accumulator.
+  std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const override;
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
@@ -222,6 +343,12 @@ class StalenessDiscountedMix : public AggregationRule {
 
   std::string name() const override { return "staleness_mix"; }
   bool folds_into_current() const override { return true; }
+  bool requires_dense() const override { return false; }
+  // Streaming form: folds are DELTAS (like aggregate()'s cohort);
+  // running sum of u_i * d_i with u_i = weight * s(staleness); finish()
+  // returns current + server_mix * sum / total_u.
+  std::unique_ptr<StreamingAccumulator> accumulator(
+      const ModelParameters& current, const ShardLayout& layout) const override;
   ModelParameters aggregate(
       const ModelParameters& current,
       const std::vector<AggregationInput>& cohort) const override;
@@ -252,6 +379,21 @@ struct AggregationConfig {
   // means configuring it here.
   StalenessPolicy staleness;
   double server_mix = 0.5;
+  // Route round loops through the StreamingAccumulator path when the
+  // rule supports it (requires_dense() == false). Off by default: the
+  // streaming math reassociates sums (double partials), so results
+  // match dense to float rounding but not bit-for-bit, and the dense
+  // K = 1000 reference fingerprint must not move.
+  bool streaming = false;
+  // Merge/finish element-wise parallelism for the streaming path
+  // (FLEDA_AGG_SHARDS). 0 = auto. Never changes results.
+  std::size_t shards = 0;
+  // Histogram-sketch resolution for streaming coordinate_median /
+  // trimmed_mean: bins per coordinate and the half-width of the sketch
+  // window around the current model. Worst-case in-span quantile error
+  // is one bin width = 2 * sketch_span / sketch_bins.
+  int sketch_bins = 32;
+  double sketch_span = 0.25;
 };
 
 // String-keyed factory map over aggregation rules, mirroring

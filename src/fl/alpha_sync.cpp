@@ -55,6 +55,41 @@ std::vector<ModelParameters> AlphaPortionSync::run_rounds(
     double cohort_total = 0.0;
     for (std::size_t k : cohort) cohort_total += weights[k];
     std::vector<ModelParameters> mixed(cohort.size());
+    if (opts.aggregation.streaming && rule == nullptr) {
+      // Streaming-era fast path for the default mix: one shared sum
+      // S = sum_j w_j u_j turns each member's peer average into
+      // (S - w_i u_i) / others_total, so the round is O(n) model adds
+      // instead of the historical O(n^2) pairwise loop. Same mix up to
+      // float reassociation — opt-in like every streaming path.
+      ModelParameters sum;
+      for (std::size_t j = 0; j < cohort.size(); ++j) {
+        if (sum.empty()) {
+          sum = updates[j];
+          sum.scale(weights[cohort[j]]);
+        } else {
+          sum.add_scaled(updates[j], weights[cohort[j]]);
+        }
+      }
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        const std::size_t k = cohort[i];
+        const double others_total = cohort_total - weights[k];
+        if (others_total <= 0.0) {
+          mixed[i] = updates[i];
+          continue;
+        }
+        // alpha u_i + (1 - alpha)(S - w_k u_i) / others_total
+        const double peer_share = (1.0 - alpha_) / others_total;
+        ModelParameters m = updates[i];
+        m.scale(alpha_ - peer_share * weights[k]);
+        m.add_scaled(sum, peer_share);
+        mixed[i] = std::move(m);
+      }
+      for (std::size_t i = 0; i < cohort.size(); ++i) {
+        deployed[cohort[i]] = std::move(mixed[i]);
+      }
+      if (opts.on_round) opts.on_round(r, deployed);
+      continue;
+    }
     for (std::size_t i = 0; i < cohort.size(); ++i) {
       const std::size_t k = cohort[i];
       const double others_total = cohort_total - weights[k];

@@ -20,6 +20,13 @@ struct Buffered {
   int client = -1;  // sender, for aggregation-guard error messages
 };
 
+// Streaming mode keeps only this per arrival (the delta itself is
+// folded into the interval's accumulator and freed on the spot).
+struct PendingMeta {
+  int client = -1;
+  int staleness = 0;
+};
+
 }  // namespace
 
 AsyncFedAvg::AsyncFedAvg(AsyncConfig config) : config_(config) {
@@ -88,7 +95,71 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
   buffer.reserve(static_cast<std::size_t>(config_.buffer_size));
   double last_aggregate_time = 0.0;
 
+  // Streaming mode: each delta folds into the interval's accumulator
+  // the moment it arrives and is freed, so the server never holds the
+  // buffer's deltas — only one accumulator plus per-arrival metadata.
+  // Safe because an arrival's staleness (version - dispatched_version)
+  // cannot change after it: `version` only advances in aggregate(),
+  // which fires AT the buffer-filling arrival. Event callbacks run
+  // serially on the engine thread, so a single lane suffices.
+  const bool streaming = opts.aggregation.streaming &&
+                         !rule->requires_dense() &&
+                         sim.anomaly_detector() == nullptr;
+  ShardLayout stream_layout;
+  stream_layout.cohort_size = static_cast<std::size_t>(config_.buffer_size);
+  stream_layout.lanes = 1;
+  stream_layout.shards = opts.aggregation.shards;
+  // Averaging rules combine the deltas around a zero anchor (FedBuff's
+  // robust-consensus composition, exactly like the dense branch below);
+  // mixing rules fold into the live global.
+  ModelParameters zero_anchor;
+  if (streaming && !rule->folds_into_current()) {
+    zero_anchor = global;
+    zero_anchor.scale(0.0);
+  }
+  std::unique_ptr<StreamingAccumulator> interval_acc;
+  std::vector<PendingMeta> pending;
+  pending.reserve(static_cast<std::size_t>(config_.buffer_size));
+
   auto aggregate = [&]() {
+    if (streaming) {
+      if (TelemetrySink* sink = sim.telemetry()) {
+        int attackers = 0;
+        for (const PendingMeta& m : pending) {
+          if (m.client >= 0 &&
+              engine.profile(static_cast<std::size_t>(m.client)).attack.kind !=
+                  AttackKind::kNone) {
+            ++attackers;
+          }
+        }
+        sink->record_cohort(static_cast<int>(pending.size()), attackers);
+        for (const PendingMeta& m : pending) {
+          sink->record_staleness(m.staleness);
+        }
+      }
+      if (rule->folds_into_current()) {
+        // finish() fully builds the next model from the accumulator
+        // before `global` (its anchor) is replaced.
+        ModelParameters next = interval_acc->finish();
+        interval_acc.reset();
+        global = std::move(next);
+      } else {
+        const ModelParameters step = interval_acc->finish();
+        interval_acc.reset();
+        global.add_scaled(step, config_.server_mix);
+      }
+      pending.clear();
+      ++version;
+      engine.note(SimEventKind::kAggregate, /*client=*/-1, version - 1);
+      channel.end_round(engine.now() - last_aggregate_time);
+      last_aggregate_time = engine.now();
+      sim.close_telemetry_round();
+      if (opts.on_round) {
+        opts.on_round(version - 1,
+                      std::vector<ModelParameters>(clients.size(), global));
+      }
+      return;
+    }
     // Mixing rules (the StalenessDiscountedMix default) fold the
     // buffered deltas into the model themselves: global += eta *
     // sum_i n_i s(tau_i) delta_i / sum_i n_i s(tau_i). An averaging
@@ -178,6 +249,12 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
     int oldest = version;
     for (const Buffered& b : buffer) {
       oldest = std::min(oldest, b.dispatched_version);
+    }
+    // Streaming mode tracks arrivals as metadata; an entry's recorded
+    // staleness is exact (version is frozen between aggregations), so
+    // its dispatch version reconstructs as version - staleness.
+    for (const PendingMeta& m : pending) {
+      oldest = std::min(oldest, version - m.staleness);
     }
     const int excess = (version - oldest) - config_.staleness_gate_age;
     return excess > 0 ? std::max(1, cap - excess) : cap;
@@ -285,14 +362,42 @@ std::vector<ModelParameters> AsyncFedAvg::run_rounds(
                 engine.schedule(
                     up_done, SimEventKind::kUplinkDone, static_cast<int>(k),
                     dispatched_version,
-                    [&, k, dispatched_version, delta = std::move(delta)] {
+                    [&, k, dispatched_version,
+                     delta = std::move(delta)]() mutable {
                       if (version >= opts.rounds) return;
-                      buffer.push_back(Buffered{delta, weights[k],
-                                                dispatched_version,
-                                                static_cast<int>(k)});
-                      if (static_cast<int>(buffer.size()) >=
-                          config_.buffer_size) {
-                        aggregate();
+                      if (streaming) {
+                        // Fold at arrival; the staleness recorded here
+                        // equals what aggregate() would compute (the
+                        // version only advances at the buffer-filling
+                        // arrival, below this fold).
+                        if (!interval_acc) {
+                          interval_acc = rule->accumulator(
+                              rule->folds_into_current() ? global
+                                                         : zero_anchor,
+                              stream_layout);
+                        }
+                        const int tau = version - dispatched_version;
+                        double w = weights[k];
+                        if (!rule->folds_into_current()) {
+                          w *= staleness.weight(tau);
+                        }
+                        interval_acc->fold(delta, w, tau,
+                                           static_cast<int>(k));
+                        pending.push_back(
+                            PendingMeta{static_cast<int>(k), tau});
+                        delta = ModelParameters{};  // folded; free it now
+                        if (static_cast<int>(pending.size()) >=
+                            config_.buffer_size) {
+                          aggregate();
+                        }
+                      } else {
+                        buffer.push_back(Buffered{delta, weights[k],
+                                                  dispatched_version,
+                                                  static_cast<int>(k)});
+                        if (static_cast<int>(buffer.size()) >=
+                            config_.buffer_size) {
+                          aggregate();
+                        }
                       }
                       finish_chain();
                       request_dispatch(k);

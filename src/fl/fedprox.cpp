@@ -11,14 +11,22 @@ std::vector<ModelParameters> FedProx::run_rounds(
 
   const std::vector<double> weights = Server::client_weights(clients);
   const std::unique_ptr<AggregationRule> rule = sync_aggregation_rule(opts);
+  const bool streaming = streaming_rounds(opts, *rule, sim);
   for (int r = 0; r < opts.rounds; ++r) {
     const std::vector<std::size_t> cohort =
         select_cohort(participation, r, clients.size(), opts, sim);
-    std::vector<const ModelParameters*> deployed(cohort.size(), &global);
-    std::vector<ModelParameters> updates =
-        cohort_local_updates(clients, cohort, deployed, opts.client, sim);
-    global = Server::aggregate(*rule, global, updates,
-                               Server::cohort_weights(weights, cohort), cohort);
+    if (streaming) {
+      global = streaming_cohort_round(
+          clients, cohort, global, Server::cohort_weights(weights, cohort),
+          *rule, opts.aggregation, opts.client, sim);
+    } else {
+      std::vector<const ModelParameters*> deployed(cohort.size(), &global);
+      std::vector<ModelParameters> updates =
+          cohort_local_updates(clients, cohort, deployed, opts.client, sim);
+      global =
+          Server::aggregate(*rule, global, updates,
+                            Server::cohort_weights(weights, cohort), cohort);
+    }
     if (opts.on_round) {
       opts.on_round(r, std::vector<ModelParameters>(clients.size(), global));
     }

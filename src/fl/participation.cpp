@@ -1,6 +1,7 @@
 #include "fl/participation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -8,6 +9,42 @@
 #include "fl/anomaly.hpp"
 
 namespace fleda {
+
+namespace {
+
+// Weighted sampling without replacement, shared by ReputationWeighted
+// and ImportanceSample: C prefix-sum walks over the live weights,
+// zeroing each pick. O(C * K) on the coordinator thread, and the rng
+// advances exactly C draws, so the cohort sequence depends only on
+// (seed, round, weights). `total` must be the sum of `weights` and
+// strictly positive; every weight must be finite and non-negative
+// (callers validate — this loop's draw schedule is frozen, any guard
+// added here would change recorded cohort sequences).
+std::vector<std::size_t> weighted_sample_without_replacement(
+    std::vector<double> weights, double total, std::size_t c, Rng& rng) {
+  const std::size_t n = weights.size();
+  std::vector<std::size_t> cohort;
+  cohort.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    double target = rng.uniform(0.0, total);
+    std::size_t pick = n;  // fallback: last nonzero weight
+    for (std::size_t k = 0; k < n; ++k) {
+      if (weights[k] <= 0.0) continue;
+      pick = k;
+      target -= weights[k];
+      if (target < 0.0) break;
+    }
+    // total > 0 is guaranteed by the caller, so a pick always exists
+    // while fewer than n are taken.
+    cohort.push_back(pick);
+    total -= weights[pick];
+    weights[pick] = 0.0;
+  }
+  std::sort(cohort.begin(), cohort.end());
+  return cohort;
+}
+
+}  // namespace
 
 std::vector<std::size_t> FullParticipation::select(
     const ParticipationContext& ctx) {
@@ -109,36 +146,68 @@ std::vector<std::size_t> ReputationWeighted::select(
     std::iota(all.begin(), all.end(), std::size_t{0});
     return all;  // C >= K: documented full-participation degeneration
   }
-  // Weighted sampling without replacement: C prefix-sum walks over the
-  // live weights, zeroing each pick. O(C * K) on the coordinator
-  // thread, and the rng advances exactly C draws per round, so the
-  // cohort sequence depends only on (seed, round, book state).
+  // total > 0 is guaranteed here: book weights are floored above zero.
   std::vector<double> weights(n);
   double total = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     weights[k] = book_->weight(k);
     total += weights[k];
   }
-  const std::size_t c = static_cast<std::size_t>(sample_size_);
-  std::vector<std::size_t> cohort;
-  cohort.reserve(c);
-  for (std::size_t i = 0; i < c; ++i) {
-    double target = rng_.uniform(0.0, total);
-    std::size_t pick = n;  // fallback: last nonzero weight
-    for (std::size_t k = 0; k < n; ++k) {
-      if (weights[k] <= 0.0) continue;
-      pick = k;
-      target -= weights[k];
-      if (target < 0.0) break;
-    }
-    // total > 0 is guaranteed (book weights are floored above zero),
-    // so a pick always exists while fewer than n are taken.
-    cohort.push_back(pick);
-    total -= weights[pick];
-    weights[pick] = 0.0;
+  return weighted_sample_without_replacement(
+      std::move(weights), total, static_cast<std::size_t>(sample_size_),
+      rng_);
+}
+
+ImportanceSample::ImportanceSample(int sample_size, WeightProvider weights,
+                                   std::uint64_t seed)
+    : sample_size_(sample_size), weights_(std::move(weights)), rng_(seed) {
+  if (sample_size <= 0) {
+    throw std::invalid_argument(
+        "ImportanceSample: sample_size " + std::to_string(sample_size) +
+        " must be positive");
   }
-  std::sort(cohort.begin(), cohort.end());
-  return cohort;
+  if (!weights_) {
+    throw std::invalid_argument(
+        "ImportanceSample: empty WeightProvider — without importance "
+        "weights the policy would silently sample uniformly (use "
+        "UniformSample, or let FederatedAlgorithm::run derive weights "
+        "from client sample counts)");
+  }
+}
+
+std::string ImportanceSample::name() const {
+  return "importance_sample(" + std::to_string(sample_size_) + ")";
+}
+
+std::vector<std::size_t> ImportanceSample::select(
+    const ParticipationContext& ctx) {
+  const std::size_t n = ctx.num_clients;
+  if (static_cast<std::size_t>(sample_size_) >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;  // C >= K: documented full-participation degeneration
+  }
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = weights_(k);
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "ImportanceSample: provider returned weight " + std::to_string(w) +
+          " for client " + std::to_string(k) +
+          " (weights must be finite and non-negative)");
+    }
+    weights[k] = w;
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(
+        "ImportanceSample: all importance weights are zero — nothing to "
+        "sample from (round " + std::to_string(ctx.round) + ")");
+  }
+  return weighted_sample_without_replacement(
+      std::move(weights), total, static_cast<std::size_t>(sample_size_),
+      rng_);
 }
 
 std::string to_string(ParticipationKind kind) {
@@ -151,12 +220,15 @@ std::string to_string(ParticipationKind kind) {
       return "availability_aware";
     case ParticipationKind::kReputationWeighted:
       return "reputation_weighted";
+    case ParticipationKind::kImportanceSample:
+      return "importance_sample";
   }
   return "?";
 }
 
 std::unique_ptr<ParticipationPolicy> make_participation_policy(
-    const ParticipationConfig& config, const ReputationBook* reputation) {
+    const ParticipationConfig& config, const ReputationBook* reputation,
+    ImportanceSample::WeightProvider importance) {
   switch (config.kind) {
     case ParticipationKind::kFull:
       return std::make_unique<FullParticipation>();
@@ -173,6 +245,11 @@ std::unique_ptr<ParticipationPolicy> make_participation_policy(
     case ParticipationKind::kReputationWeighted:
       return std::make_unique<ReputationWeighted>(config.sample_size,
                                                   reputation, config.seed);
+    case ParticipationKind::kImportanceSample:
+      // The ImportanceSample ctor rejects an empty provider with its
+      // own descriptive error.
+      return std::make_unique<ImportanceSample>(
+          config.sample_size, std::move(importance), config.seed);
   }
   throw std::invalid_argument("make_participation_policy: unknown kind");
 }

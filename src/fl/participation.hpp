@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,35 @@ class ReputationWeighted : public ParticipationPolicy {
   Rng rng_;
 };
 
+// C clients sampled without replacement with probability proportional
+// to a caller-supplied importance weight — classically the client's
+// sample count (clients holding more data are more informative per
+// round), optionally scaled by recent training loss so struggling
+// clients are revisited sooner. Shares ReputationWeighted's exact
+// sampler (same prefix-sum walk, same rng draw schedule), so the
+// cohort sequence depends only on (seed, round, weights). The provider
+// is consulted once per client per select, on the coordinator thread;
+// it must return finite, non-negative weights (a negative or
+// non-finite weight fails the round loudly, naming the client).
+class ImportanceSample : public ParticipationPolicy {
+ public:
+  // Importance weight of client k at select time.
+  using WeightProvider = std::function<double(std::size_t)>;
+
+  // Throws std::invalid_argument when sample_size <= 0 or the provider
+  // is empty (an absent provider would silently sample uniformly).
+  ImportanceSample(int sample_size, WeightProvider weights,
+                   std::uint64_t seed = 0x5A3D1EULL);
+
+  std::string name() const override;
+  std::vector<std::size_t> select(const ParticipationContext& ctx) override;
+
+ private:
+  int sample_size_;
+  WeightProvider weights_;
+  Rng rng_;
+};
+
 // Declarative form carried by FLRunOptions / ExperimentConfig.
 enum class ParticipationKind : std::uint8_t {
   kFull = 0,
@@ -129,6 +159,11 @@ enum class ParticipationKind : std::uint8_t {
   // Reputation-weighted sampling (requires a ReputationBook — see
   // make_participation_policy and FLRunOptions::reputation).
   kReputationWeighted = 3,
+  // Importance sampling by caller-supplied weight (requires a
+  // WeightProvider; FederatedAlgorithm::run derives one from each
+  // client's sample count, optionally scaled by training loss — see
+  // ParticipationConfig::loss_weighted).
+  kImportanceSample = 4,
 };
 
 std::string to_string(ParticipationKind kind);
@@ -141,13 +176,19 @@ struct ParticipationConfig {
   int sample_size = 0;
   // Seed of the cohort-sampling stream (independent of model init).
   std::uint64_t seed = 0x5A3D1EULL;
+  // kImportanceSample only: scale each client's sample-count weight by
+  // (1 + last_train_loss), so clients whose local objective is still
+  // high are revisited sooner. Ignored by every other kind.
+  bool loss_weighted = false;
 };
 
-// `reputation` is consulted only by kReputationWeighted, which throws
-// a descriptive error when it is null — the caller (normally
-// FederatedAlgorithm::run) owns the book's lifetime.
+// `reputation` is consulted only by kReputationWeighted and
+// `importance` only by kImportanceSample; each throws a descriptive
+// error when its dependency is missing — the caller (normally
+// FederatedAlgorithm::run) owns both lifetimes.
 std::unique_ptr<ParticipationPolicy> make_participation_policy(
     const ParticipationConfig& config,
-    const ReputationBook* reputation = nullptr);
+    const ReputationBook* reputation = nullptr,
+    ImportanceSample::WeightProvider importance = {});
 
 }  // namespace fleda

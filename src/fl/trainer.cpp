@@ -54,8 +54,25 @@ std::vector<ModelParameters> FederatedAlgorithm::run(
     reputation = own_book.get();
   }
   sim.set_anomaly(detector, reputation);
+  // Importance weights for kImportanceSample: each client's sample
+  // count (more data = more informative per round), optionally scaled
+  // by (1 + last training loss) so clients whose local objective is
+  // still high are revisited sooner. Evaluated at select time on the
+  // coordinator thread; `clients` outlives the policy.
+  ImportanceSample::WeightProvider importance;
+  if (opts.participation.kind == ParticipationKind::kImportanceSample) {
+    const bool by_loss = opts.participation.loss_weighted;
+    importance = [&clients, by_loss](std::size_t k) {
+      double w = static_cast<double>(clients[k].num_train());
+      if (by_loss) {
+        w *= 1.0 + static_cast<double>(clients[k].last_train_loss());
+      }
+      return w;
+    };
+  }
   std::unique_ptr<ParticipationPolicy> participation =
-      make_participation_policy(opts.participation, reputation);
+      make_participation_policy(opts.participation, reputation,
+                                std::move(importance));
   std::vector<ModelParameters> finals =
       run_rounds(clients, factory, opts, sim, *participation);
   if (opts.comm_stats != nullptr) *opts.comm_stats = channel.stats();
@@ -130,6 +147,66 @@ std::vector<ModelParameters> FederatedAlgorithm::parallel_local_updates(
   return cohort_local_updates(clients, everyone, deployed, cfg, sim);
 }
 
+namespace {
+
+// Shared by the dense and streaming round bodies. The channel's
+// parallel encode/decode touches per-client state (error-feedback
+// residuals, downlink references), which is only safe for distinct
+// indices — require the policies' strictly ascending order instead of
+// racing on duplicates.
+void validate_cohort(const char* where, std::size_t num_clients,
+                     const std::vector<std::size_t>& cohort) {
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    if (cohort[i] >= num_clients) {
+      throw std::out_of_range(std::string(where) + ": client index " +
+                              std::to_string(cohort[i]) + " >= " +
+                              std::to_string(num_clients));
+    }
+    if (i > 0 && cohort[i] <= cohort[i - 1]) {
+      throw std::invalid_argument(
+          std::string(where) +
+          ": cohort indices must be strictly ascending (got " +
+          std::to_string(cohort[i]) + " after " +
+          std::to_string(cohort[i - 1]) + ")");
+    }
+  }
+}
+
+// Adaptive attackers carry state (their trajectory estimate) across
+// rounds. Slot pointers are gathered on the coordinator thread —
+// growing the deque inside a parallel loop would race — and each slot
+// is touched only by its owning client's iteration.
+std::vector<AttackState*> gather_attack_states(
+    FederationSim& sim, const std::vector<std::size_t>& cohort) {
+  std::vector<AttackState*> states(cohort.size(), nullptr);
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    if (sim.engine().profile(cohort[i]).attack.kind ==
+        AttackKind::kAdaptiveScaled) {
+      states[i] = sim.attack_state(cohort[i]);
+    }
+  }
+  return states;
+}
+
+void record_cohort_telemetry(FederationSim& sim,
+                             const std::vector<std::size_t>& cohort) {
+  TelemetrySink* sink = sim.telemetry();
+  if (sink == nullptr) return;
+  int attackers = 0;
+  for (std::size_t k : cohort) {
+    if (sim.engine().profile(k).attack.kind != AttackKind::kNone) {
+      ++attackers;
+    }
+  }
+  sink->record_cohort(static_cast<int>(cohort.size()), attackers);
+  // Every sync update is aggregated at the version it trained on.
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    sink->record_staleness(0);
+  }
+}
+
+}  // namespace
+
 std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
     std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
     const std::vector<const ModelParameters*>& deployed,
@@ -137,23 +214,7 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   if (cohort.size() != deployed.size()) {
     throw std::invalid_argument("cohort_local_updates: size mismatch");
   }
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
-    if (cohort[i] >= clients.size()) {
-      throw std::out_of_range("cohort_local_updates: client index " +
-                              std::to_string(cohort[i]) + " >= " +
-                              std::to_string(clients.size()));
-    }
-    // The channel's parallel encode/decode touches per-client state
-    // (error-feedback residuals, downlink references), which is only
-    // safe for distinct indices — require the policies' strictly
-    // ascending order instead of racing on duplicates.
-    if (i > 0 && cohort[i] <= cohort[i - 1]) {
-      throw std::invalid_argument(
-          "cohort_local_updates: cohort indices must be strictly ascending "
-          "(got " + std::to_string(cohort[i]) + " after " +
-          std::to_string(cohort[i - 1]) + ")");
-    }
-  }
+  validate_cohort("cohort_local_updates", clients.size(), cohort);
   Channel& channel = sim.channel();
   // Downlink: cohort members train from what they decode, not from the
   // server-side snapshot — a lossy codec's error feeds into training.
@@ -164,17 +225,7 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   // and corrupts what it sends. Completed channel rounds disambiguate
   // repeated attacks by the same client (the noise-stream nonce).
   const std::uint64_t round_nonce = channel.stats().rounds.size();
-  // Adaptive attackers carry state (their trajectory estimate) across
-  // rounds. Slot pointers are gathered here on the coordinator thread —
-  // growing the deque inside the parallel loop would race — and each
-  // slot is touched only by its owning client's iteration.
-  std::vector<AttackState*> attack_states(cohort.size(), nullptr);
-  for (std::size_t i = 0; i < cohort.size(); ++i) {
-    if (sim.engine().profile(cohort[i]).attack.kind ==
-        AttackKind::kAdaptiveScaled) {
-      attack_states[i] = sim.attack_state(cohort[i]);
-    }
-  }
+  std::vector<AttackState*> attack_states = gather_attack_states(sim, cohort);
   std::vector<ModelParameters> updates(cohort.size());
   parallel_for(cohort.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -192,28 +243,85 @@ std::vector<ModelParameters> FederatedAlgorithm::cohort_local_updates(
   std::vector<const ModelParameters*> references;
   references.reserve(received.size());
   for (const auto& r : received) references.push_back(r.get());
+  // Handing `updates` over lets the channel drop each raw update right
+  // after its wire roundtrip — without the move the round briefly held
+  // two full cohorts (raw + decoded), a 2x spike at exactly the
+  // all-cohorts-resident peak.
   std::vector<ModelParameters> collected =
-      channel.collect(updates, references, cohort);
+      channel.collect(std::move(updates), references, cohort);
   // Server-side detection sees exactly what the aggregator will see:
   // the collected (decoded) updates against the deployed references.
   sim.observe_cohort_updates(cohort, collected, references);
-  if (TelemetrySink* sink = sim.telemetry()) {
-    int attackers = 0;
-    for (std::size_t k : cohort) {
-      if (sim.engine().profile(k).attack.kind != AttackKind::kNone) {
-        ++attackers;
-      }
-    }
-    sink->record_cohort(static_cast<int>(cohort.size()), attackers);
-    // Every sync update is aggregated at the version it trained on.
-    for (std::size_t i = 0; i < cohort.size(); ++i) {
-      sink->record_staleness(0);
-    }
-  }
+  record_cohort_telemetry(sim, cohort);
   // Barrier policy: the round's events run on the virtual clock and
   // the round closes at the slowest cohort member's upload.
   sim.finish_sync_round(cfg.steps, cohort);
   return collected;
+}
+
+bool FederatedAlgorithm::streaming_rounds(const FLRunOptions& opts,
+                                          const AggregationRule& rule,
+                                          const FederationSim& sim) {
+  return opts.aggregation.streaming && !rule.requires_dense() &&
+         sim.anomaly_detector() == nullptr;
+}
+
+ModelParameters FederatedAlgorithm::streaming_cohort_round(
+    std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
+    const ModelParameters& global, const std::vector<double>& cohort_weights,
+    const AggregationRule& rule, const AggregationConfig& agg,
+    const ClientTrainConfig& cfg, FederationSim& sim) {
+  if (cohort.size() != cohort_weights.size()) {
+    throw std::invalid_argument("streaming_cohort_round: size mismatch");
+  }
+  validate_cohort("streaming_cohort_round", clients.size(), cohort);
+  Channel& channel = sim.channel();
+  const std::vector<const ModelParameters*> deployed(cohort.size(), &global);
+  const std::vector<std::shared_ptr<const ModelParameters>> received =
+      channel.broadcast(deployed, cohort);
+  const std::uint64_t round_nonce = channel.stats().rounds.size();
+  std::vector<AttackState*> attack_states = gather_attack_states(sim, cohort);
+  std::vector<const ModelParameters*> references;
+  references.reserve(received.size());
+  for (const auto& r : received) references.push_back(r.get());
+  ShardLayout layout;
+  layout.cohort_size = cohort.size();
+  layout.lanes = kFoldLanes;
+  layout.shards = agg.shards;
+  const std::vector<std::size_t> lanes =
+      fold_lane_offsets(cohort.size(), layout.lanes);
+  std::vector<std::unique_ptr<StreamingAccumulator>> accs(layout.lanes);
+  for (std::size_t l = 0; l < accs.size(); ++l) {
+    accs[l] = rule.accumulator(global, layout);
+  }
+  // Each cohort member trains inside its fold lane (produce), so lane
+  // count is also the round's training parallelism; the decoded upload
+  // folds into the lane's accumulator (consume) and is freed before
+  // the lane's next member starts. At no point does more than
+  // lanes x (1 update + 1 accumulator) live on the server.
+  channel.collect_streaming(
+      cohort, references, lanes,
+      [&](std::size_t i) {
+        const std::size_t k = cohort[i];
+        ModelParameters update = clients[k].local_update(*received[i], cfg);
+        const AttackSpec& attack = sim.engine().profile(k).attack;
+        if (attack.kind != AttackKind::kNone) {
+          update = apply_attack(attack, std::move(update), *received[i], k,
+                                round_nonce, attack_states[i]);
+        }
+        return update;
+      },
+      [&](std::size_t lane, std::size_t i, ModelParameters&& decoded) {
+        accs[lane]->fold(decoded, cohort_weights[i], /*staleness=*/0,
+                         static_cast<int>(cohort[i]));
+      });
+  record_cohort_telemetry(sim, cohort);
+  sim.finish_sync_round(cfg.steps, cohort);
+  // Lane order is the merge order — part of the deterministic contract.
+  for (std::size_t l = 1; l < accs.size(); ++l) {
+    accs[0]->merge(*accs[l]);
+  }
+  return accs[0]->finish();
 }
 
 }  // namespace fleda

@@ -163,6 +163,33 @@ class FederatedAlgorithm {
       std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
       const std::vector<const ModelParameters*>& deployed,
       const ClientTrainConfig& cfg, FederationSim& sim);
+
+  // Whether this run's synchronous rounds take the streaming
+  // accumulator path: opted in (opts.aggregation.streaming), a rule
+  // with a streaming form (requires_dense() == false), and no anomaly
+  // detector (detection scores the materialized cohort, so it pins the
+  // dense path). Evaluated once per run.
+  static bool streaming_rounds(const FLRunOptions& opts,
+                               const AggregationRule& rule,
+                               const FederationSim& sim);
+
+  // Streaming counterpart of cohort_local_updates + Server::aggregate
+  // in one pass: broadcasts `global` to the cohort, trains each member
+  // inside its fold lane, folds every decoded upload straight into a
+  // per-lane accumulator from `rule` and frees it, then merges the
+  // lanes in lane order and returns the aggregated next model — the
+  // cohort is never materialized, so server memory stays O(lanes x
+  // model) at any cohort size. cohort_weights[i] weights cohort[i].
+  // Bit-identical across thread-pool sizes (the lane partition is a
+  // pure function of the cohort), but NOT bit-identical to the dense
+  // path (double partial sums reassociate) — which is why the caller
+  // gates on streaming_rounds().
+  static ModelParameters streaming_cohort_round(
+      std::vector<Client>& clients, const std::vector<std::size_t>& cohort,
+      const ModelParameters& global,
+      const std::vector<double>& cohort_weights, const AggregationRule& rule,
+      const AggregationConfig& agg, const ClientTrainConfig& cfg,
+      FederationSim& sim);
 };
 
 }  // namespace fleda
